@@ -1,0 +1,250 @@
+package adaptivecc
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	cluster, err := NewClientServer(Options{NumClients: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	w := cluster.Client(0).Begin()
+	if err := w.Write(7, 3, []byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := cluster.Client(1).Begin()
+	got, err := r.Read(7, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Errorf("read %q, want hello", got)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPeerServersFlow(t *testing.T) {
+	cluster, err := NewPeerServers(Options{NumClients: 3, DatabasePages: 300})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	// Page 250 lives on the last peer; write from the first.
+	w := cluster.Client(0).Begin()
+	if err := w.Write(250, 0, []byte("cross")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	r := cluster.Client(2).Begin()
+	got, err := r.Read(250, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "cross" {
+		t.Errorf("read %q", got)
+	}
+	if err := r.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllProtocolsExposed(t *testing.T) {
+	for _, proto := range []Protocol{PS, PSOO, PSOA, PSAA} {
+		cluster, err := NewClientServer(Options{Protocol: proto, NumClients: 1, DatabasePages: 100})
+		if err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if cluster.Protocol() != proto {
+			t.Errorf("Protocol() = %v, want %v", cluster.Protocol(), proto)
+		}
+		x := cluster.Client(0).Begin()
+		if err := x.Write(1, 1, []byte("x")); err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		if err := x.Commit(); err != nil {
+			t.Fatalf("%v: %v", proto, err)
+		}
+		cluster.Close()
+	}
+}
+
+func TestAbortSemantics(t *testing.T) {
+	cluster, err := NewClientServer(Options{NumClients: 1, DatabasePages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	c := cluster.Client(0)
+
+	x := c.Begin()
+	if err := x.Write(5, 0, []byte("doomed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Commit(); !errors.Is(err, ErrTxNotActive) {
+		t.Errorf("commit after abort: %v", err)
+	}
+	if _, err := x.Read(5, 0); !errors.Is(err, ErrTxNotActive) {
+		t.Errorf("read after abort: %v", err)
+	}
+
+	y := c.Begin()
+	got, err := y.Read(5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) == "doomed" {
+		t.Error("aborted write visible")
+	}
+	if err := y.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplicitLocks(t *testing.T) {
+	cluster, err := NewClientServer(Options{NumClients: 2, DatabasePages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	x := cluster.Client(0).Begin()
+	if err := x.LockPage(10, SH); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.LockFile(10, IX); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	y := cluster.Client(1).Begin()
+	if err := y.LockFile(10, EX); err != nil {
+		t.Fatal(err)
+	}
+	if err := y.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsExposed(t *testing.T) {
+	cluster, err := NewClientServer(Options{NumClients: 1, DatabasePages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	x := cluster.Client(0).Begin()
+	if _, err := x.Read(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	stats := cluster.Stats()
+	if stats["messages"] == 0 || stats["commits"] == 0 {
+		t.Errorf("stats = %v", stats)
+	}
+}
+
+func TestBadAddresses(t *testing.T) {
+	cluster, err := NewClientServer(Options{NumClients: 1, DatabasePages: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	x := cluster.Client(0).Begin()
+	if _, err := x.Read(10, 0); err == nil {
+		t.Error("read beyond database succeeded")
+	}
+	_ = x.Abort()
+}
+
+func TestConcurrentCounterAcrossAPI(t *testing.T) {
+	cluster, err := NewClientServer(Options{NumClients: 3, DatabasePages: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	seed := cluster.Client(0).Begin()
+	if err := seed.Write(0, 0, []byte{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := seed.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const perClient = 15
+	var wg sync.WaitGroup
+	for i := 0; i < cluster.NumClients(); i++ {
+		wg.Add(1)
+		go func(i int, c *Client) {
+			defer wg.Done()
+			backoff := time.Duration(i+1) * time.Millisecond
+			for n := 0; n < perClient; n++ {
+				for {
+					x := c.Begin()
+					v, err := x.Read(0, 0)
+					if err == nil {
+						err = x.Write(0, 0, []byte{v[0] + 1})
+					}
+					if err == nil && x.Commit() == nil {
+						break
+					}
+					_ = x.Abort()
+					time.Sleep(backoff) // restart delay breaks mutual-abort livelock
+				}
+			}
+		}(i, cluster.Client(i))
+	}
+	wg.Wait()
+
+	final := cluster.Client(0).Begin()
+	v, err := final.Read(0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := final.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if int(v[0]) != 3*perClient {
+		t.Errorf("counter = %d, want %d", v[0], 3*perClient)
+	}
+}
+
+func ExampleNewClientServer() {
+	cluster, err := NewClientServer(Options{NumClients: 2})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	tx := cluster.Client(0).Begin()
+	_ = tx.Write(7, 3, []byte("hello"))
+	_ = tx.Commit()
+
+	rd := cluster.Client(1).Begin()
+	v, _ := rd.Read(7, 3)
+	_ = rd.Commit()
+	fmt.Println(string(v))
+	// Output: hello
+}

@@ -1,0 +1,91 @@
+// Command shorebench regenerates the paper's evaluation figures (6–15):
+// for each figure it sweeps the write probability for every protocol the
+// paper plots and prints the throughput series, plus the configuration
+// tables (Table 1 and Table 2).
+//
+// Usage:
+//
+//	shorebench -list-config              # print Tables 1 and 2
+//	shorebench -fig 6                    # reproduce one figure
+//	shorebench -all                      # reproduce all ten figures
+//	shorebench -fig 6 -scale 0.25 -measure 20s -small
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"adaptivecc/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shorebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shorebench", flag.ContinueOnError)
+	var (
+		listConfig = fs.Bool("list-config", false, "print Table 1 and Table 2 and exit")
+		figNum     = fs.Int("fig", 0, "figure number to reproduce (6-15)")
+		all        = fs.Bool("all", false, "reproduce all figures")
+		small      = fs.Bool("small", false, "use the scaled-down platform (faster, 1200 pages, 4 apps)")
+		scale      = fs.Float64("scale", 0, "time scale override (1.0 = paper milliseconds)")
+		warmup     = fs.Duration("warmup", 2*time.Second, "warmup per data point (wall clock)")
+		measure    = fs.Duration("measure", 8*time.Second, "measurement window per data point (wall clock)")
+		quiet      = fs.Bool("quiet", false, "suppress per-point progress")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	plat := harness.DefaultPlatform()
+	if *small {
+		plat = harness.SmallPlatform()
+	}
+	if *scale > 0 {
+		plat.TimeScale = *scale
+	}
+
+	if *listConfig {
+		fmt.Print(harness.RenderTable1(plat))
+		fmt.Println()
+		fmt.Print(harness.RenderTable2(plat))
+		return nil
+	}
+
+	var figs []harness.Figure
+	switch {
+	case *all:
+		figs = harness.Figures()
+	case *figNum != 0:
+		f, ok := harness.FigureByNumber(*figNum)
+		if !ok {
+			return fmt.Errorf("no figure %d (valid: 6-15)", *figNum)
+		}
+		figs = []harness.Figure{f}
+	default:
+		fs.Usage()
+		return fmt.Errorf("one of -list-config, -fig, or -all is required")
+	}
+
+	progress := func(line string) { fmt.Println("  " + line) }
+	if *quiet {
+		progress = nil
+	}
+	for _, fig := range figs {
+		fmt.Printf("== Figure %d: %s [%s]\n", fig.Number, fig.Title, fig.Mode)
+		res, err := harness.RunFigure(fig, plat, *warmup, *measure, progress)
+		if err != nil {
+			return err
+		}
+		fmt.Println()
+		fmt.Print(res.Render())
+		fmt.Printf("expected shape: %s\n\n", fig.Expectation)
+	}
+	return nil
+}

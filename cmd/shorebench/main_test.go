@@ -1,0 +1,18 @@
+package main
+
+import "testing"
+
+func TestRunListConfig(t *testing.T) {
+	if err := run([]string{"-list-config"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFigure(t *testing.T) {
+	if err := run([]string{"-fig", "99"}); err == nil {
+		t.Error("bad figure number accepted")
+	}
+	if err := run([]string{}); err == nil {
+		t.Error("no action accepted")
+	}
+}

@@ -1,0 +1,3 @@
+module adaptivecc
+
+go 1.22

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"testing"
+
+	"adaptivecc/internal/sim"
+)
+
+func TestAdaptiveMirrorAcrossPages(t *testing.T) {
+	tc := newCluster(t, PSAA, 2, 10)
+	a := tc.clients[0]
+	stats := tc.sys.Stats()
+
+	t1 := a.Begin()
+	// Interleave writes across two pages, then return to the first.
+	writeVal(t, t1, objID(5, 0), "a")
+	writeVal(t, t1, objID(6, 0), "b")
+	writeVal(t, t1, objID(5, 1), "c")
+	writeVal(t, t1, objID(6, 1), "d")
+	if got := stats.Get(sim.CtrWriteRequests); got != 2 {
+		t.Errorf("write requests = %d, want 2", got)
+	}
+	if got := stats.Get(sim.CtrEscalationSaved); got != 2 {
+		t.Errorf("saved = %d, want 2", got)
+	}
+	mustCommit(t, t1)
+}

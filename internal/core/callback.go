@@ -1,0 +1,448 @@
+package core
+
+import (
+	"strings"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
+)
+
+// cbEvent is one message routed to a running callback operation.
+type cbEvent struct {
+	ack     *callbackAck
+	blocked *callbackBlocked
+}
+
+// cbOp is the server-side state of one callback round.
+type cbOp struct {
+	id     uint64
+	tx     lock.TxID
+	item   storage.ItemID
+	events chan cbEvent
+}
+
+// cbThreadID derives the lock-table identity of a callback thread at a
+// client. The thread is associated with the calling-back transaction but
+// uses a distinct ID so that exactly the locks it acquired are released
+// when it finishes (the calling-back transaction may independently hold
+// server locks at the same peer).
+func cbThreadID(server string, opID uint64) lock.TxID {
+	return lock.TxID{Site: "#cb/" + server, Seq: opID}
+}
+
+// isCallbackThread reports whether a lock-table identity belongs to a
+// callback thread rather than a real transaction.
+func isCallbackThread(t lock.TxID) bool { return strings.HasPrefix(t.Site, "#cb/") }
+
+// runCallbackOp executes the callback side of a write-permission grant for
+// item (an object — possibly a dummy object — or a whole page) on behalf
+// of txid, excluding the requesting client. It returns whether the page
+// ended up invalidated at every other client (the PS-AA adaptive-lock
+// precondition).
+//
+// The operation loops: if the calling-back transaction had to downgrade
+// its locks to replicate client conflicts, other transactions may have
+// "sneaked in" and been shipped the page, violating the serializability
+// objective of §4.2.2; the ship-counter comparison detects this and the
+// callbacks are repeated (§4.3.2).
+func (p *Peer) runCallbackOp(txid lock.TxID, item, pageID storage.ItemID, requester string) (bool, error) {
+	if item.Level == storage.LevelObject {
+		p.setPendingCB(item, txid)
+		defer p.clearPendingCB(item)
+	}
+	for round := 0; ; round++ {
+		clients := p.ct.copiesOf(pageID, requester)
+		if len(clients) == 0 {
+			return true, nil
+		}
+		if round > 0 {
+			p.stats.Inc(sim.CtrCallbackRounds)
+		}
+		shipsBefore := p.ct.shipCount(pageID)
+		downgraded, err := p.callbackRound(txid, item, pageID, pageID, clients)
+		if err != nil {
+			return false, err
+		}
+		if !downgraded || p.ct.shipCount(pageID) == shipsBefore {
+			return len(p.ct.clientsOf(pageID, requester)) == 0, nil
+		}
+	}
+}
+
+// runFileCallbackOp purges a whole file from every caching client before
+// an explicit EX file (or volume) lock is granted.
+func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester string) error {
+	for {
+		names := p.ct.fileClientsOf(file, requester)
+		if len(names) == 0 {
+			return nil
+		}
+		clients := make(map[string]uint64, len(names))
+		for _, c := range names {
+			clients[c] = 0 // file removals are unguarded: the EX file lock
+			// already blocks re-ships of the file's pages at the server.
+		}
+		if _, err := p.callbackRound(txid, file, file, file, clients); err != nil {
+			return err
+		}
+		// File callbacks ack only after purging every page of the file; a
+		// client re-appearing here means it fetched pages after this round
+		// started, which the EX file lock now prevents — loop to be safe.
+	}
+}
+
+// callbackRound sends one round of callbacks for item to clients and
+// collects their acknowledgments, running the lock-replication dance for
+// every "callback-blocked" reply. scope is the copy-table key invalidated
+// acks refer to (the page, or the file for file callbacks).
+func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID, clients map[string]uint64) (bool, error) {
+	op := &cbOp{id: p.newOpID(), tx: txid, item: item, events: make(chan cbEvent, len(clients)*4)}
+	p.registerOp(op)
+	defer p.unregisterOp(op)
+
+	for c := range clients {
+		p.stats.Inc(sim.CtrCallbacks)
+		_ = p.sys.net.Send(transport.Message{
+			From: p.name, To: c, Kind: kindCallback,
+			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID},
+		}, transport.AnyPath)
+	}
+
+	var (
+		pendingAcks = len(clients)
+		convCh      = make(chan error, len(clients)*2+2)
+		convOut     = 0
+		downgraded  = false
+		firstErr    error
+	)
+	for pendingAcks > 0 || convOut > 0 {
+		select {
+		case ev := <-op.events:
+			switch {
+			case ev.ack != nil:
+				tracef("op%d ack from %s invalidated=%v", op.id, ev.ack.Client, ev.ack.Invalidated)
+				pendingAcks--
+				if ev.ack.Invalidated {
+					// The removal is guarded by the install count recorded
+					// when this round's callback was sent: if the page was
+					// re-shipped to the client meanwhile (our locks were
+					// downgraded), the fresh copy stays and the next round
+					// calls the client back again.
+					p.dropCopies(scope, ev.ack.Client, clients[ev.ack.Client])
+				}
+			case ev.blocked != nil:
+				downgraded = true
+				p.handleBlocked(op, ev.blocked, convCh, &convOut)
+			}
+		case cerr := <-convCh:
+			convOut--
+			if cerr != nil && firstErr == nil {
+				firstErr = cerr
+			}
+		}
+		if firstErr != nil {
+			// The calling-back transaction lost a deadlock (or timed out)
+			// while re-upgrading. Waiting for the remaining acks would hang:
+			// the blocking clients' transactions are themselves waiting on
+			// this server. Fail the operation now — the requester aborts,
+			// its locks clear, and late acks are dropped with the op.
+			return downgraded, firstErr
+		}
+	}
+	if downgraded {
+		// Make sure the full target modes are held again before returning
+		// write permission (the last conversion may have been downgraded by
+		// a later blocked reply).
+		if item != pageID && item.Level == storage.LevelObject {
+			if err := p.locks.Lock(op.tx, pageID, lock.IX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+				return downgraded, err
+			}
+		}
+		if err := p.locks.Lock(op.tx, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+			return downgraded, err
+		}
+	}
+	return downgraded, nil
+}
+
+// dropCopies removes a client's copy-table entries under scope (one page,
+// or every page of a file), guarded by the install count captured at
+// callback-send time for pages.
+func (p *Peer) dropCopies(scope storage.ItemID, client string, install uint64) {
+	if scope.Level == storage.LevelPage {
+		p.ct.removeCopy(scope, client, install)
+		return
+	}
+	p.ct.removeFileCopies(scope, client)
+}
+
+// handleBlocked processes a callback-blocked reply: project the client's
+// conflict into this server's lock table (downgrade our lock, force-grant
+// the holders', then become an upgrader), so that the deadlock detector
+// sees the conflict (§4.2.1, Fig. 4) and so that the lock state matches
+// what a centralized execution could have produced.
+func (p *Peer) handleBlocked(op *cbOp, bl *callbackBlocked, convCh chan error, convOut *int) {
+	p.cpu.Use(p.cfg.Costs.LockCPU)
+
+	conflictModes := make([]lock.Mode, 0, len(bl.Conflicts))
+	for _, r := range bl.Conflicts {
+		conflictModes = append(conflictModes, r.Mode)
+	}
+
+	twoLevel := bl.Item != op.item // blocked at the page level during an object callback
+	if twoLevel {
+		// §4.3.2: downgrade the object lock to SH and the page lock to IS,
+		// then upgrade the page lock first (one wait at a time).
+		if cur := p.locks.HeldMode(op.tx, op.item); cur == lock.EX {
+			_ = p.locks.Downgrade(op.tx, op.item, lock.SH)
+		}
+		if cur := p.locks.HeldMode(op.tx, bl.Item); cur != lock.NL && cur != lock.IS {
+			if to := downgradeFor(cur, conflictModes); to != cur {
+				_ = p.locks.Downgrade(op.tx, bl.Item, to)
+			}
+		}
+	} else {
+		if cur := p.locks.HeldMode(op.tx, op.item); cur != lock.NL {
+			if to := downgradeFor(cur, conflictModes); to != cur {
+				_ = p.locks.Downgrade(op.tx, op.item, to)
+			}
+		}
+	}
+
+	for _, r := range bl.Conflicts {
+		p.forceGrantReplica(r)
+	}
+
+	timeout := p.waitTimeout()
+	txid, item, blockedItem := op.tx, op.item, bl.Item
+	*convOut++
+	go func() {
+		if twoLevel {
+			if err := p.locks.Lock(txid, blockedItem, lock.IX, lock.Options{SkipAncestors: true, Timeout: timeout}); err != nil {
+				convCh <- err
+				return
+			}
+		}
+		convCh <- p.locks.Lock(txid, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: timeout})
+	}()
+}
+
+// forceGrantReplica installs a client-reported lock at the server,
+// together with the intention locks its ancestors require. Replications
+// that lost a race with the transaction's finish are dropped (or undone)
+// via the tombstone set, so no zombie locks survive.
+func (p *Peer) forceGrantReplica(r lockReplica) {
+	if p.isFinished(r.Tx) {
+		return
+	}
+	intent := lock.IntentionFor(r.Mode)
+	for _, anc := range r.Item.Ancestors() {
+		p.locks.ForceGrant(r.Tx, anc, intent)
+	}
+	p.locks.ForceGrant(r.Tx, r.Item, r.Mode)
+	if p.isFinished(r.Tx) {
+		p.locks.ReleaseAll(r.Tx)
+	}
+}
+
+// capReplicaMode bounds the mode a conflict is replicated at. A client
+// holds a local-only EX only while its own write request is in flight (a
+// granted EX always exists at the server first, and adaptive-lock EX locks
+// are surfaced by deescalation before the caller's EX is granted). In the
+// centralized projection the two exclusive requests queue against each
+// other, so the in-flight request is replicated as SH: it creates the
+// waits-for edge, and the deadlock detector picks a victim exactly as the
+// paper's Fig. 4 machinery intends. Force-granting EX beside the
+// calling-back transaction's lock would instead let both writers proceed.
+func capReplicaMode(m lock.Mode) lock.Mode {
+	if m == lock.EX {
+		return lock.SH
+	}
+	return m
+}
+
+// downgradeFor picks the strongest mode covered by cur that is compatible
+// with every conflicting mode: EX blocked by IS holders downgrades to SIX
+// (file callbacks), EX blocked by SH holders downgrades to SH (Fig. 4),
+// IX blocked by SH page holders downgrades to IS (§4.3.2).
+func downgradeFor(cur lock.Mode, conflicts []lock.Mode) lock.Mode {
+	for _, cand := range []lock.Mode{lock.SIX, lock.SH, lock.IX, lock.IS} {
+		if !lock.Covers(cur, cand) || cand == cur {
+			continue
+		}
+		ok := true
+		for _, c := range conflicts {
+			if !lock.Compatible(c, cand) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return cand
+		}
+	}
+	return lock.IS
+}
+
+// handleCallback is the client-side callback thread (§4.1.1 footnote 2):
+// it runs in its own goroutine, may block on local locks (reporting the
+// conflict to the server first), invalidates the page or object, and acks.
+func (p *Peer) handleCallback(rq callbackReq) {
+	if rq.Item.Level == storage.LevelFile || rq.Item.Level == storage.LevelVolume {
+		p.handleFileCallback(rq)
+		return
+	}
+	cbid := cbThreadID(rq.Server, rq.OpID)
+	defer p.locks.ReleaseAll(cbid)
+
+	page := rq.Page
+	slot := rq.Item.Slot // DummySlot for dummy-object callbacks
+	pageLevel := rq.Item.Level == storage.LevelPage
+
+	// Fast path: the page is not cached here (e.g. it was purged and the
+	// notice is still in flight). If a read for the page is pending, its
+	// reply will resurrect the page: keep the copy-table entry and veto
+	// the called-back item instead of acking a full invalidation.
+	p.cs.mu.Lock()
+	if !p.pool.Contains(page) {
+		invalidated := true
+		if p.cs.hasPendingReadLocked(page) {
+			p.registerRaceLocked(page, rq.Item, pageLevel)
+			invalidated = false
+		}
+		p.cs.mu.Unlock()
+		p.sendAck(rq, invalidated)
+		return
+	}
+	p.cs.mu.Unlock()
+
+	// Adaptive callbacks: try to take the whole page.
+	if p.cfg.Protocol.adaptiveCallbacks() || pageLevel {
+		err := p.locks.Lock(cbid, page, lock.EX, lock.Options{NoWait: true, SkipAncestors: true})
+		if err == nil {
+			p.purgeWholePage(rq, page, pageLevel)
+			return
+		}
+		if pageLevel {
+			// PS or an explicit EX page lock: the whole page must go; block
+			// at the page level after reporting the conflict.
+			p.sendBlocked(rq, page, lock.EX, cbid)
+			if err := p.locks.Lock(cbid, page, lock.EX, lock.Options{SkipAncestors: true}); err != nil {
+				p.sendAck(rq, false)
+				return
+			}
+			p.purgeWholePage(rq, page, pageLevel)
+			return
+		}
+	}
+
+	// Object-level invalidation: IX on the page (may block on a local-only
+	// SH page lock — hierarchical callbacks), then EX on the object.
+	if err := p.locks.Lock(cbid, page, lock.IX, lock.Options{NoWait: true, SkipAncestors: true}); err != nil {
+		p.sendBlocked(rq, page, lock.IX, cbid)
+		if err := p.locks.Lock(cbid, page, lock.IX, lock.Options{SkipAncestors: true}); err != nil {
+			p.sendAck(rq, false)
+			return
+		}
+	}
+	if err := p.locks.Lock(cbid, rq.Item, lock.EX, lock.Options{NoWait: true, SkipAncestors: true}); err != nil {
+		p.sendBlocked(rq, rq.Item, lock.EX, cbid)
+		if err := p.locks.Lock(cbid, rq.Item, lock.EX, lock.Options{SkipAncestors: true}); err != nil {
+			p.sendAck(rq, false)
+			return
+		}
+	}
+
+	p.cs.mu.Lock()
+	stillCached := p.pool.Contains(page)
+	if stillCached {
+		p.pool.SetAvail(page, slot, false)
+	}
+	if p.cs.hasPendingReadLocked(page) {
+		p.registerRaceLocked(page, rq.Item, false)
+	}
+	p.cs.mu.Unlock()
+	p.sendAck(rq, !stillCached)
+}
+
+// purgeWholePage drops the page from the client cache under an EX page
+// lock, handling the pending-read race.
+func (p *Peer) purgeWholePage(rq callbackReq, page storage.ItemID, pageLevel bool) {
+	tracef("%s purgeWholePage %v op%d", p.name, page, rq.OpID)
+	p.cs.mu.Lock()
+	invalidated := true
+	if p.cs.hasPendingReadLocked(page) {
+		p.registerRaceLocked(page, rq.Item, pageLevel)
+		invalidated = false
+	}
+	p.pool.Remove(page)
+	p.cs.takeInstallLocked(page)
+	p.cs.mu.Unlock()
+	p.sendAck(rq, invalidated)
+}
+
+// registerRaceLocked vetoes the called-back item in any read reply that is
+// still in flight (callback race table, §4.2.4). A page-level callback
+// vetoes every slot. Callers hold cs.mu.
+func (p *Peer) registerRaceLocked(page storage.ItemID, item storage.ItemID, pageLevel bool) {
+	p.stats.Inc(sim.CtrCallbackRaces)
+	if pageLevel {
+		for s := 0; s < p.cfg.ObjectsPerPage; s++ {
+			p.cs.registerRaceLocked(page, uint16(s))
+		}
+		p.cs.registerRaceLocked(page, storage.DummySlot)
+		return
+	}
+	p.cs.registerRaceLocked(page, item.Slot)
+}
+
+// handleFileCallback purges every cached page of a file (§4.3.1).
+func (p *Peer) handleFileCallback(rq callbackReq) {
+	cbid := cbThreadID(rq.Server, rq.OpID)
+	defer p.locks.ReleaseAll(cbid)
+
+	file := rq.Item
+	if err := p.locks.Lock(cbid, file, lock.EX, lock.Options{NoWait: true, SkipAncestors: true}); err != nil {
+		p.sendBlocked(rq, file, lock.EX, cbid)
+		if err := p.locks.Lock(cbid, file, lock.EX, lock.Options{SkipAncestors: true}); err != nil {
+			p.sendAck(rq, false)
+			return
+		}
+	}
+	p.cs.mu.Lock()
+	for _, id := range p.pool.PagesOf(file) {
+		p.pool.Remove(id)
+		p.cs.takeInstallLocked(id)
+	}
+	p.cs.mu.Unlock()
+	p.sendAck(rq, true)
+}
+
+// sendBlocked reports a local lock conflict to the calling-back server so
+// the conflict can be replicated there before this thread blocks.
+func (p *Peer) sendBlocked(rq callbackReq, item storage.ItemID, mode lock.Mode, cbid lock.TxID) {
+	var reps []lockReplica
+	for _, h := range p.locks.Holders(item) {
+		if h.Tx == cbid || isCallbackThread(h.Tx) {
+			continue
+		}
+		if !lock.Compatible(h.Mode, mode) {
+			reps = append(reps, lockReplica{Tx: h.Tx, Item: item, Mode: capReplicaMode(h.Mode)})
+			p.noteReplicated(h.Tx, rq.Server)
+		}
+	}
+	_ = p.sys.net.Send(transport.Message{
+		From: p.name, To: rq.Server, Kind: kindCallbackBlocked,
+		Payload: callbackBlocked{OpID: rq.OpID, Client: p.name, Item: item, Conflicts: reps},
+	}, transport.AnyPath)
+}
+
+// sendAck completes this client's part of a callback operation.
+func (p *Peer) sendAck(rq callbackReq, invalidated bool) {
+	_ = p.sys.net.Send(transport.Message{
+		From: p.name, To: rq.Server, Kind: kindCallbackAck,
+		Payload: callbackAck{OpID: rq.OpID, Client: p.name, Invalidated: invalidated},
+	}, transport.AnyPath)
+}

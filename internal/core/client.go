@@ -1,0 +1,601 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/tx"
+	"adaptivecc/internal/wal"
+)
+
+// ErrTxNotActive is returned by operations on a finished transaction. It
+// aliases the tx package's sentinel so that errors.Is matches regardless
+// of which layer rejected the operation.
+var ErrTxNotActive = tx.ErrNotActive
+
+// Tx is a transaction executing at its home peer. On any returned error
+// the caller must Abort the transaction; operations after a failure are
+// rejected.
+type Tx struct {
+	p     *Peer
+	inner *tx.Tx
+	id    lock.TxID
+
+	mu        sync.Mutex
+	writePerm map[storage.ItemID]bool // objects with standing server EX permission
+}
+
+// Begin starts a transaction at this peer.
+func (p *Peer) Begin() *Tx {
+	inner := p.reg.Begin()
+	return &Tx{p: p, inner: inner, id: inner.ID, writePerm: make(map[storage.ItemID]bool)}
+}
+
+// ID reports the transaction's global identity.
+func (t *Tx) ID() lock.TxID { return t.id }
+
+// lockTarget maps an object to the item actually locked: under PS the
+// system-wide granularity is the page.
+func (t *Tx) lockTarget(obj storage.ItemID) storage.ItemID {
+	if t.p.cfg.Protocol.objectGranularity() {
+		return obj
+	}
+	return obj.PageID()
+}
+
+// Read returns the current value of an object. Cached available objects
+// are read with no server interaction (callback locking keeps cached
+// copies valid); otherwise the owner ships the containing page.
+func (t *Tx) Read(obj storage.ItemID) ([]byte, error) {
+	if obj.Level != storage.LevelObject {
+		return nil, fmt.Errorf("core: Read of non-object %v", obj)
+	}
+	if !t.inner.Active() {
+		return nil, ErrTxNotActive
+	}
+	p := t.p
+	p.stats.Inc(sim.CtrObjectReads)
+	pageID := obj.PageID()
+	owner, err := p.sys.ownerOf(obj)
+	if err != nil {
+		return nil, err
+	}
+	target := t.lockTarget(obj)
+
+	// Local lock first (§4.1.1), so that a concurrent callback cannot
+	// invalidate the object between the cache check and the read.
+	if err := p.locks.Lock(t.id, target, lock.SH, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+		return nil, err
+	}
+
+	if owner == p.name {
+		if err := t.inner.Spread(owner); err != nil {
+			return nil, err
+		}
+		if _, err := p.serveRequest(p.name, readReq{Tx: t.id, Obj: target}); err != nil {
+			return nil, err
+		}
+		return p.srvObjectBytes(obj)
+	}
+
+	if data, ok := p.pool.ReadObject(pageID, obj.Slot); ok {
+		p.stats.Inc(sim.CtrLocalHits)
+		return data, nil
+	}
+	if err := t.inner.Spread(owner); err != nil {
+		return nil, err
+	}
+
+	p.cs.beginRead(pageID)
+	body, err := p.call(owner, readReq{Tx: t.id, Obj: target, WholePage: target.Level == storage.LevelPage})
+	if err != nil {
+		p.cs.mu.Lock()
+		p.cs.endReadLocked(pageID)
+		p.cs.takeRacesLocked(pageID)
+		p.cs.mu.Unlock()
+		return nil, err
+	}
+	rr, ok := body.(readResp)
+	if !ok {
+		return nil, fmt.Errorf("core: bad read reply %T", body)
+	}
+	if rr.ObjData != nil {
+		t.applyObjectReply(pageID, obj.Slot, rr.ObjData, rr.Install)
+	} else {
+		reqSlot := obj.Slot
+		if target.Level == storage.LevelPage {
+			reqSlot = storage.DummySlot
+		}
+		t.applyPageReply(pageID, rr.Page, rr.Avail, rr.Install, reqSlot)
+	}
+
+	data, ok := p.pool.ReadObject(pageID, obj.Slot)
+	if !ok {
+		return nil, fmt.Errorf("core: object %v unavailable after fetch", obj)
+	}
+	return data, nil
+}
+
+// applyObjectReply installs a single shipped object (OS protocol) into the
+// client cache, creating an empty frame for its page if needed. The
+// requested object cannot be vetoed by a callback race (it is SH-locked at
+// the server), but race entries for it are consumed.
+func (t *Tx) applyObjectReply(pageID storage.ItemID, slot uint16, data []byte, install uint64) {
+	p := t.p
+	p.cs.mu.Lock()
+	veto := p.cs.takeRacesLocked(pageID)
+	veto = veto.Without(slot)
+	// Re-register the other vetoes: only this slot's fate is decided here.
+	for s := 0; s < p.cfg.ObjectsPerPage; s++ {
+		if veto.Has(uint16(s)) {
+			p.cs.registerRaceLocked(pageID, uint16(s))
+		}
+	}
+	if veto.Has(storage.DummySlot) {
+		p.cs.registerRaceLocked(pageID, storage.DummySlot)
+	}
+	var evs []buffer.Eviction
+	if !p.pool.Contains(pageID) {
+		empty := storage.NewPage(pageID, p.cfg.ObjectsPerPage, p.cfg.ObjectSize)
+		evs = p.pool.Insert(pageID, empty, 0)
+	}
+	_ = p.pool.InstallObject(pageID, slot, data)
+	p.pool.SetAvail(pageID, slot, true)
+	p.cs.setInstallLocked(pageID, install)
+	p.cs.endReadLocked(pageID)
+	p.cs.mu.Unlock()
+	p.noticeEvictions(evs)
+}
+
+// applyPageReply merges an incoming page copy into the client cache per
+// the final-availability rules of §4.2.3, consuming callback race entries
+// and generating purge notices for any evicted pages.
+func (t *Tx) applyPageReply(pageID storage.ItemID, page *storage.Page, avail storage.AvailMask, install uint64, reqSlot uint16) {
+	p := t.p
+	p.cs.mu.Lock()
+	veto := p.cs.takeRacesLocked(pageID)
+	if reqSlot != storage.DummySlot {
+		// The requested object is SH-locked at the server by this
+		// transaction before the rule is applied, so it is always valid.
+		veto = veto.Without(reqSlot)
+	}
+	var evs []buffer.Eviction
+	if page != nil {
+		tracef("%s merge %v avail=%x veto=%x", p.name, pageID, avail, veto)
+		evs = p.pool.Merge(pageID, page, avail, veto)
+		p.cs.setInstallLocked(pageID, install)
+	}
+	p.cs.endReadLocked(pageID)
+	p.cs.mu.Unlock()
+	p.noticeEvictions(evs)
+}
+
+// noticeEvictions turns buffer-pool evictions into purge notices: the
+// owner must drop its copy-table entry, replicate any local locks still
+// held on the page, and redo early-shipped log records for dirty objects
+// (§3.3, §4.1.1).
+func (p *Peer) noticeEvictions(evs []buffer.Eviction) {
+	for _, ev := range evs {
+		owner, err := p.sys.ownerOf(ev.ID)
+		if err != nil {
+			continue
+		}
+		p.cs.mu.Lock()
+		install := p.cs.takeInstallLocked(ev.ID)
+		p.cs.mu.Unlock()
+
+		var reps []lockReplica
+		txsWithLocks := make(map[lock.TxID]bool)
+		for _, info := range p.locks.LocksWithin(ev.ID) {
+			if isCallbackThread(info.Tx) {
+				continue
+			}
+			// EX is capped at SH for the same reason as in callback-blocked
+			// replies: a genuine server EX is retained by the supremum at
+			// the server, while an in-flight write request must queue.
+			reps = append(reps, lockReplica{Tx: info.Tx, Item: info.Item, Mode: capReplicaMode(info.Mode)})
+			txsWithLocks[info.Tx] = true
+			p.noteReplicated(info.Tx, owner)
+		}
+		var recs []wal.Record
+		if ev.Dirty != 0 {
+			for txid := range txsWithLocks {
+				recs = append(recs, p.logCache.TakeForPage(txid, ev.ID)...)
+			}
+		}
+		p.cs.queuePurge(owner, purgeNotice{Page: ev.ID, Install: install, Locks: reps, Records: recs})
+		if len(recs) > 0 {
+			// Early log shipping: the owner should redo promptly since the
+			// client no longer holds the bytes.
+			p.flushPurges(owner)
+		}
+	}
+}
+
+// Write updates an object. Write permission requires an EX lock at the
+// owner and callbacks to all other caching clients — unless this
+// transaction already holds the permission (a standing page EX under PS,
+// an adaptive page lock under PS-AA, or a previous write of the same
+// object).
+func (t *Tx) Write(obj storage.ItemID, data []byte) error {
+	if obj.Level != storage.LevelObject {
+		return fmt.Errorf("core: Write of non-object %v", obj)
+	}
+	if !t.inner.Active() {
+		return ErrTxNotActive
+	}
+	p := t.p
+	p.stats.Inc(sim.CtrObjectWrites)
+	pageID := obj.PageID()
+	owner, err := p.sys.ownerOf(obj)
+	if err != nil {
+		return err
+	}
+	target := t.lockTarget(obj)
+
+	if err := p.locks.Lock(t.id, target, lock.EX, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+		return err
+	}
+
+	if owner == p.name {
+		if err := t.inner.Spread(owner); err != nil {
+			return err
+		}
+		t.inner.MarkWrote(owner)
+		if _, err := p.serveRequest(p.name, writeReq{Tx: t.id, Obj: target, HavePage: true, HaveObj: true}); err != nil {
+			return err
+		}
+		before, err := p.srvObjectBytes(obj)
+		if err != nil {
+			return err
+		}
+		p.logCache.Append(wal.Record{Tx: t.id, Object: obj, Before: before, After: append([]byte(nil), data...)})
+		p.installBytes(obj, data, false)
+		return nil
+	}
+
+	if err := t.inner.Spread(owner); err != nil {
+		return err
+	}
+	objCached := false
+	if avail, ok := p.pool.Avail(pageID); ok {
+		objCached = avail.Has(obj.Slot)
+	}
+	if t.hasWritePermission(obj, pageID) && objCached {
+		p.stats.Inc(sim.CtrEscalationSaved)
+	} else if err := t.requestWritePermission(obj, pageID, target, owner); err != nil {
+		return err
+	}
+
+	// Perform the update in the local cache and log it.
+	before, ok := p.pool.ReadObject(pageID, obj.Slot)
+	if !ok {
+		return fmt.Errorf("core: object %v not cached at write time", obj)
+	}
+	if err := p.pool.WriteObject(pageID, obj.Slot, data); err != nil {
+		return err
+	}
+	p.logCache.Append(wal.Record{Tx: t.id, Object: obj, Before: before, After: append([]byte(nil), data...)})
+	t.inner.MarkWrote(owner)
+	return nil
+}
+
+// hasWritePermission reports a standing write permission: an adaptive (or
+// page-EX) lock mirror on the page, or a previous grant for this object.
+func (t *Tx) hasWritePermission(obj, pageID storage.ItemID) bool {
+	if t.p.locks.IsAdaptive(t.id, pageID) {
+		return true
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.writePerm[obj]
+}
+
+// requestWritePermission performs the server round trip of Fig. 3.
+func (t *Tx) requestWritePermission(obj, pageID, target storage.ItemID, owner string) error {
+	p := t.p
+	havePage := p.pool.Contains(pageID)
+	if p.cfg.Protocol.objectTransfers() {
+		havePage = true // OS never ships pages; the object travels instead
+	}
+	haveObj := false
+	if avail, ok := p.pool.Avail(pageID); ok {
+		haveObj = avail.Has(obj.Slot)
+	}
+
+	p.cs.beginWrite(pageID)
+	if !havePage {
+		p.cs.beginRead(pageID) // the reply will carry the page
+	}
+	body, err := p.call(owner, writeReq{Tx: t.id, Obj: target, HavePage: havePage, HaveObj: haveObj})
+	p.cs.endWrite(pageID)
+	if err != nil {
+		if !havePage {
+			p.cs.mu.Lock()
+			p.cs.endReadLocked(pageID)
+			p.cs.takeRacesLocked(pageID)
+			p.cs.mu.Unlock()
+		}
+		return err
+	}
+	wr, ok := body.(writeResp)
+	if !ok {
+		return fmt.Errorf("core: bad write reply %T", body)
+	}
+
+	if wr.Page != nil {
+		reqSlot := obj.Slot
+		if target.Level == storage.LevelPage {
+			reqSlot = storage.DummySlot
+		}
+		t.applyPageReply(pageID, wr.Page, wr.Avail, wr.Install, reqSlot)
+	} else if !havePage {
+		p.cs.mu.Lock()
+		p.cs.endReadLocked(pageID)
+		p.cs.takeRacesLocked(pageID)
+		p.cs.mu.Unlock()
+	}
+	if wr.ObjData != nil {
+		p.cs.mu.Lock()
+		if !p.pool.Contains(pageID) {
+			empty := storage.NewPage(pageID, p.cfg.ObjectsPerPage, p.cfg.ObjectSize)
+			evs := p.pool.Insert(pageID, empty, 0)
+			p.cs.mu.Unlock()
+			p.noticeEvictions(evs)
+			p.cs.mu.Lock()
+		}
+		if avail, ok := p.pool.Avail(pageID); ok && !avail.Has(obj.Slot) {
+			_ = p.pool.InstallObject(pageID, obj.Slot, wr.ObjData)
+			p.pool.SetAvail(pageID, obj.Slot, true)
+		}
+		if wr.Install != 0 {
+			p.cs.setInstallLocked(pageID, wr.Install)
+		}
+		p.cs.mu.Unlock()
+	}
+
+	if wr.Adaptive {
+		if !p.cs.consumePreDeescalated(pageID) {
+			p.locks.SetAdaptive(t.id, pageID, true)
+		}
+	} else if target.Level == storage.LevelObject {
+		t.mu.Lock()
+		t.writePerm[obj] = true
+		t.mu.Unlock()
+	}
+
+	// Under PS the write permission covers the whole page; make sure the
+	// requested object is addressable even if the page copy predates it.
+	if target.Level == storage.LevelPage {
+		if avail, ok := p.pool.Avail(pageID); ok && !avail.Has(obj.Slot) {
+			p.pool.SetAvail(pageID, obj.Slot, true)
+		}
+	}
+	return nil
+}
+
+// LockItem acquires an explicit hierarchical lock (paper §4.3): files and
+// volumes always propagate to the owner; SH/IS page locks stay local when
+// the page is fully cached (hierarchical callbacks optimization); IX/SIX
+// page locks trigger dummy-object callbacks at the owner.
+func (t *Tx) LockItem(item storage.ItemID, mode lock.Mode) error {
+	if !t.inner.Active() {
+		return ErrTxNotActive
+	}
+	if item.Level == storage.LevelObject {
+		return fmt.Errorf("core: object locks are implicit; use Read/Write")
+	}
+	p := t.p
+	if err := p.locks.Lock(t.id, item, mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+		return err
+	}
+	owner, err := p.sys.ownerOf(item)
+	if err != nil {
+		return err
+	}
+	local := owner == p.name
+
+	if item.Level == storage.LevelPage && !local {
+		switch mode {
+		case lock.IS, lock.SH:
+			fully := false
+			if avail, ok := p.pool.Avail(item); ok {
+				fully = avail.FullFor(p.cfg.ObjectsPerPage)
+			}
+			if fully && !p.cfg.PropagateSHPage {
+				// Local-only (§4.3.2): the owner is not contacted, so the
+				// transaction does not spread to it.
+				return nil
+			}
+			if mode == lock.IS {
+				break // propagate as a plain lock request below
+			}
+			if err := t.inner.Spread(owner); err != nil {
+				return err
+			}
+			// Propagated SH page lock: served as a whole-page read so the
+			// page becomes fully cached here.
+			p.cs.beginRead(item)
+			body, err := p.call(owner, readReq{Tx: t.id, Obj: item, WholePage: true})
+			if err != nil {
+				p.cs.mu.Lock()
+				p.cs.endReadLocked(item)
+				p.cs.takeRacesLocked(item)
+				p.cs.mu.Unlock()
+				return err
+			}
+			rr, ok := body.(readResp)
+			if !ok {
+				return fmt.Errorf("core: bad read reply %T", body)
+			}
+			t.applyPageReply(item, rr.Page, rr.Avail, rr.Install, storage.DummySlot)
+			return nil
+		}
+	}
+
+	if err := t.inner.Spread(owner); err != nil {
+		return err
+	}
+	if mode == lock.EX || mode == lock.SIX || mode == lock.IX {
+		t.inner.MarkWrote(owner)
+	}
+	if local {
+		if _, err := p.serveRequest(p.name, lockReq{Tx: t.id, Item: item, Mode: mode}); err != nil {
+			return err
+		}
+	} else if _, err := p.call(owner, lockReq{Tx: t.id, Item: item, Mode: mode}); err != nil {
+		return err
+	}
+	if !local && item.Level == storage.LevelPage && mode == lock.EX {
+		// An explicit EX page lock is a standing write permission for the
+		// whole page (the owner has called the page back everywhere);
+		// mirror it like an adaptive lock so object writes skip the owner.
+		p.locks.SetAdaptive(t.id, item, true)
+	}
+	return nil
+}
+
+// Commit finishes the transaction: log records are shipped to each owner
+// holding updates (2PC phase one, redo-at-server), then every owner the
+// transaction spread to commits and releases its locks (phase two),
+// followed by the local locks.
+func (t *Tx) Commit() error {
+	p := t.p
+	if err := t.inner.BeginCommit(); err != nil {
+		return err
+	}
+	recs := p.logCache.Take(t.id)
+	byOwner := make(map[string][]wal.Record)
+	for _, r := range recs {
+		owner, err := p.sys.ownerOf(r.Object)
+		if err != nil {
+			continue
+		}
+		byOwner[owner] = append(byOwner[owner], r)
+	}
+	for owner, rs := range byOwner {
+		if owner == p.name {
+			p.appendAndRedo(rs)
+			continue
+		}
+		if _, err := p.call(owner, prepareReq{Tx: t.id, Records: rs}); err != nil {
+			t.finish(false, recs)
+			return fmt.Errorf("core: prepare at %s: %w", owner, err)
+		}
+	}
+	t.finish(true, recs)
+	p.stats.Inc(sim.CtrCommits)
+	return nil
+}
+
+// Abort rolls the transaction back: local log records are discarded, its
+// updated objects are purged from the local cache (marked unavailable),
+// and every owner undoes shipped updates and releases its locks (§3.3).
+func (t *Tx) Abort() error {
+	p := t.p
+	state := t.inner.State()
+	if state == tx.Committed || state == tx.Aborted {
+		return ErrTxNotActive
+	}
+	recs := p.logCache.Take(t.id)
+	for _, r := range recs {
+		owner, err := p.sys.ownerOf(r.Object)
+		if err != nil {
+			continue
+		}
+		if owner == p.name {
+			p.undoOne(r)
+			continue
+		}
+		pageID := r.Object.PageID()
+		p.cs.mu.Lock()
+		p.pool.SetAvail(pageID, r.Object.Slot, false)
+		p.pool.SetDirtySlot(pageID, r.Object.Slot, false)
+		p.cs.mu.Unlock()
+	}
+	t.finish(false, nil)
+	p.stats.Inc(sim.CtrAborts)
+	return nil
+}
+
+// finish runs 2PC phase two (or abort) at every owner and releases local
+// state.
+func (t *Tx) finish(commit bool, recs []wal.Record) {
+	p := t.p
+	for _, owner := range t.inner.SpreadSet() {
+		if owner == p.name {
+			_, _ = p.srvFinish(p.name, finishReq{Tx: t.id, Commit: commit})
+			continue
+		}
+		if _, err := p.call(owner, finishReq{Tx: t.id, Commit: commit}); err != nil {
+			// The peer is unreachable; its locks will clear when it
+			// processes the message (the in-process transport does not
+			// lose messages).
+			continue
+		}
+	}
+	if commit {
+		for _, r := range recs {
+			if owner, err := p.sys.ownerOf(r.Object); err == nil && owner != p.name {
+				p.pool.SetDirtySlot(r.Object.PageID(), r.Object.Slot, false)
+			}
+		}
+	}
+	p.locks.ReleaseAll(t.id)
+	if commit {
+		t.inner.Finish(tx.Committed)
+	} else {
+		t.inner.Finish(tx.Aborted)
+	}
+	p.reg.Remove(t.id)
+
+	// Release any locks replicated at owners the transaction never spread
+	// to (callback-blocked replies, purge notices). After the local
+	// ReleaseAll above, no further replication of this transaction's locks
+	// can start; late replications in flight are neutralized by the
+	// tombstone set at the owner.
+	spread := make(map[string]bool)
+	for _, o := range t.inner.SpreadSet() {
+		spread[o] = true
+	}
+	for _, owner := range p.takeReplicated(t.id) {
+		if !spread[owner] {
+			p.sendRelease(t.id, owner)
+		}
+	}
+}
+
+// clientDeescalate handles a deescalation request from an owner (§4.1.2):
+// every local adaptive lock on the page is torn down and the EX object
+// locks of local transactions on the page's objects are reported for
+// replication at the server. The pre-deescalation flag handles the race
+// where this request overtakes the write reply that would have installed
+// the adaptive lock.
+func (p *Peer) clientDeescalate(from string, rq deescReq) (any, error) {
+	page := rq.Page
+	if p.cs.hasPendingWrite(page) {
+		p.cs.markPreDeescalated(page)
+	}
+	// Clear the adaptive bits first: object EX locks acquired after this
+	// point route their writes through the server again, and EX locks
+	// acquired before it are included in the collection below.
+	holders := p.locks.AdaptiveHolders(page)
+	for _, t := range holders {
+		p.locks.SetAdaptive(t, page, false)
+	}
+	var reps []lockReplica
+	for _, info := range p.locks.LocksWithin(page) {
+		if isCallbackThread(info.Tx) || info.Item.Level != storage.LevelObject {
+			continue
+		}
+		if info.Mode == lock.EX || info.Mode == lock.SIX {
+			reps = append(reps, lockReplica{Tx: info.Tx, Item: info.Item, Mode: info.Mode})
+			p.noteReplicated(info.Tx, from)
+		}
+	}
+	return deescResp{Locks: reps}, nil
+}

@@ -1,0 +1,242 @@
+// Package core implements the paper's contribution: hierarchical, adaptive
+// cache consistency for a page server OODBMS, in the peer-servers model.
+//
+// Every peer server plays two roles. As the owner of its volumes it is the
+// "server": it maintains the authoritative copies, the global lock table
+// entries, the copy table, and runs callback operations on behalf of
+// writers. As the local agent of its applications it is a "client": it
+// caches remote pages with per-object availability bits, acquires local
+// locks, generates redo log records, and answers callbacks from owners.
+//
+// Four cache consistency protocols are provided (§2, §4 of the paper):
+//
+//	PS    — the basic page server: page-grain locking and callbacks.
+//	PSOO  — object-grain locking with pure object callbacks.
+//	PSOA  — object-grain locking with adaptive callbacks (whole-page
+//	        invalidation attempted first).
+//	PSAA  — PSOA plus adaptive locking: object writes opportunistically
+//	        escalate to per-transaction adaptive page locks, deescalated
+//	        on remote conflict.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
+)
+
+// Protocol selects the cache consistency algorithm.
+type Protocol int
+
+// The implemented protocols.
+const (
+	PS Protocol = iota + 1
+	PSOO
+	PSOA
+	PSAA
+	// OS is the pure object server baseline of the authors' earlier study
+	// (reference [5]): objects — not pages — are the unit of transfer and
+	// caching, with object-grain locking and callbacks. It is not part of
+	// the figures in this paper but serves as the comparison point for the
+	// poor-clustering discussion in §2.
+	OS
+)
+
+// String renders the protocol name as used in the paper.
+func (p Protocol) String() string {
+	switch p {
+	case PS:
+		return "PS"
+	case PSOO:
+		return "PS-OO"
+	case PSOA:
+		return "PS-OA"
+	case PSAA:
+		return "PS-AA"
+	case OS:
+		return "OS"
+	default:
+		return fmt.Sprintf("Protocol(%d)", int(p))
+	}
+}
+
+// objectGranularity reports whether consistency is tracked per object.
+func (p Protocol) objectGranularity() bool { return p != PS }
+
+// objectTransfers reports whether single objects (not pages) are shipped.
+func (p Protocol) objectTransfers() bool { return p == OS }
+
+// adaptiveCallbacks reports whether callbacks first try to invalidate the
+// whole page.
+func (p Protocol) adaptiveCallbacks() bool { return p == PSOA || p == PSAA || p == PS }
+
+// adaptiveLocking reports whether object writes may escalate to adaptive
+// page locks.
+func (p Protocol) adaptiveLocking() bool { return p == PSAA }
+
+// Config parameterizes a System.
+type Config struct {
+	// Protocol selects the cache consistency algorithm (default PSAA).
+	Protocol Protocol
+	// Costs is the simulated hardware cost table.
+	Costs sim.CostTable
+	// ObjectsPerPage and ObjectSize shape pages (defaults 20 and 200,
+	// mirroring the paper's 4 KB pages with 20 objects).
+	ObjectsPerPage int
+	ObjectSize     int
+	// ClientPoolPages and ServerPoolPages size the two buffer pools.
+	ClientPoolPages int
+	ServerPoolPages int
+	// NumPaths is the number of independent FIFO paths between each pair
+	// of peers (default 3).
+	NumPaths int
+	// Seed drives path selection.
+	Seed int64
+	// UseTimeouts enables lock-wait timeouts (SHORE's distributed deadlock
+	// resolution). Default true.
+	UseTimeouts bool
+	// AdaptiveTimeout selects the mean+stddev heuristic (default true);
+	// when false, FixedTimeout is used.
+	AdaptiveTimeout bool
+	FixedTimeout    time.Duration
+	// TimeoutInflate, TimeoutFloor and TimeoutCeil tune the adaptive
+	// timeout (paper: inflate by 1.5).
+	TimeoutInflate float64
+	TimeoutFloor   time.Duration
+	TimeoutCeil    time.Duration
+	// PropagateSHPage disables the hierarchical-callback optimization of
+	// §4.3.2: explicit SH/IS page locks always propagate to the server
+	// (the simplified algorithm of §4.3.1). For the ablation benchmark.
+	PropagateSHPage bool
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.Protocol == 0 {
+		c.Protocol = PSAA
+	}
+	if c.ObjectsPerPage == 0 {
+		c.ObjectsPerPage = storage.DefaultObjectsPerPage
+	}
+	if c.ObjectSize == 0 {
+		c.ObjectSize = storage.DefaultPageSize / storage.DefaultObjectsPerPage
+	}
+	if c.ClientPoolPages == 0 {
+		c.ClientPoolPages = 256
+	}
+	if c.ServerPoolPages == 0 {
+		c.ServerPoolPages = 512
+	}
+	if c.NumPaths == 0 {
+		c.NumPaths = 3
+	}
+	if c.TimeoutInflate == 0 {
+		c.TimeoutInflate = 1.5
+	}
+	if c.TimeoutFloor == 0 {
+		c.TimeoutFloor = 50 * time.Millisecond
+	}
+	if c.TimeoutCeil == 0 {
+		c.TimeoutCeil = 15 * time.Second
+	}
+	if c.FixedTimeout == 0 {
+		c.FixedTimeout = 2 * time.Second
+	}
+	return c
+}
+
+// System wires peers together: the shared network, the page directory, and
+// the volume ownership map.
+type System struct {
+	cfg    Config
+	stats  *sim.Stats
+	net    *transport.Network
+	dir    *storage.Directory
+	owners map[storage.VolumeID]string
+	peers  map[string]*Peer
+}
+
+// NewSystem builds an empty system. Timeouts default to enabled with the
+// adaptive heuristic unless the caller configured otherwise via the
+// explicit fields.
+func NewSystem(cfg Config) *System {
+	cfg = cfg.withDefaults()
+	stats := sim.NewStats()
+	return &System{
+		cfg:    cfg,
+		stats:  stats,
+		net:    transport.NewNetwork(cfg.Costs, stats, cfg.NumPaths, cfg.Seed),
+		dir:    storage.NewDirectory(),
+		owners: make(map[storage.VolumeID]string),
+		peers:  make(map[string]*Peer),
+	}
+}
+
+// Stats exposes the shared counter set.
+func (s *System) Stats() *sim.Stats { return s.stats }
+
+// Config returns the effective configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Directory exposes the global page directory; the harness populates it
+// while creating volumes.
+func (s *System) Directory() *storage.Directory { return s.dir }
+
+// AddPeer creates a peer server owning the given volumes and registers it
+// on the network, with the system-wide buffer pool sizes.
+func (s *System) AddPeer(name string, vols ...*storage.Volume) (*Peer, error) {
+	return s.AddPeerWithPools(name, s.cfg.ServerPoolPages, s.cfg.ClientPoolPages, vols...)
+}
+
+// AddPeerWithPools creates a peer with explicit buffer pool sizes; the
+// peer-servers harness uses it to split each peer's 25%-of-DB buffer
+// between the server pool (sized to its partition) and the client pool.
+func (s *System) AddPeerWithPools(name string, serverPoolPages, clientPoolPages int, vols ...*storage.Volume) (*Peer, error) {
+	if _, ok := s.peers[name]; ok {
+		return nil, fmt.Errorf("core: peer %q already exists", name)
+	}
+	for _, v := range vols {
+		if owner, ok := s.owners[v.ID]; ok {
+			return nil, fmt.Errorf("core: volume %d already owned by %q", v.ID, owner)
+		}
+	}
+	p := newPeer(s, name, serverPoolPages, clientPoolPages, vols)
+	if err := s.net.Register(name, p.cpu, p.handle); err != nil {
+		return nil, err
+	}
+	for _, v := range vols {
+		s.owners[v.ID] = name
+	}
+	s.peers[name] = p
+	return p, nil
+}
+
+// Peer returns a peer by name.
+func (s *System) Peer(name string) (*Peer, bool) {
+	p, ok := s.peers[name]
+	return p, ok
+}
+
+// Peers lists all peers.
+func (s *System) Peers() []*Peer {
+	out := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		out = append(out, p)
+	}
+	return out
+}
+
+// ownerOf resolves the peer name owning an item's volume.
+func (s *System) ownerOf(item storage.ItemID) (string, error) {
+	owner, ok := s.owners[item.Vol]
+	if !ok {
+		return "", fmt.Errorf("core: volume %d has no owner", item.Vol)
+	}
+	return owner, nil
+}
+
+// Close shuts the network down, draining in-flight messages.
+func (s *System) Close() { s.net.Close() }

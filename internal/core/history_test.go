@@ -1,0 +1,68 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestCounterTransitionHistory checks strict serializability of a shared
+// counter under PS: the committed transitions must form the exact sequence
+// 0..N with no duplicates (each duplicate would be a lost update).
+func TestCounterTransitionHistory(t *testing.T) {
+	tc := newCluster(t, PS, 3, 4)
+	obj := objID(0, 0)
+
+	init := tc.clients[0].Begin()
+	writeVal(t, init, obj, "0")
+	mustCommit(t, init)
+
+	var logMu sync.Mutex
+	var transitions []string
+
+	var wg sync.WaitGroup
+	for ci, c := range tc.clients {
+		wg.Add(1)
+		go func(ci int, p *Peer) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				for attempt := 0; ; attempt++ {
+					x := p.Begin()
+					v, err := x.Read(obj)
+					var n int
+					if err == nil {
+						n = atoi(string(v))
+						err = x.Write(obj, []byte(itoa(n+1)))
+					}
+					if err == nil {
+						err = x.Commit()
+					}
+					if err == nil {
+						logMu.Lock()
+						transitions = append(transitions, fmt.Sprintf("c%d: %d->%d", ci+1, n, n+1))
+						logMu.Unlock()
+						break
+					}
+					_ = x.Abort()
+					time.Sleep(time.Duration(ci+1) * time.Millisecond)
+					if attempt > 200 {
+						t.Errorf("c%d: too many aborts: %v", ci+1, err)
+						return
+					}
+				}
+			}
+		}(ci, c)
+	}
+	wg.Wait()
+
+	final := tc.clients[0].Begin()
+	got := atoi(readVal(t, final, obj))
+	mustCommit(t, final)
+	if got != 90 {
+		for _, tr := range transitions {
+			t.Log(tr)
+		}
+		t.Fatalf("final = %d, want 90", got)
+	}
+}

@@ -1,0 +1,214 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/wal"
+)
+
+// Message kinds on the wire.
+const (
+	kindRequest         = "req"
+	kindReply           = "resp"
+	kindCallback        = "cb.req"
+	kindCallbackAck     = "cb.ack"
+	kindCallbackBlocked = "cb.blocked"
+	kindPurgeFlush      = "purge"
+)
+
+// errCode serializes protocol errors across peers.
+type errCode string
+
+const (
+	errNone     errCode = ""
+	errDeadlock errCode = "deadlock"
+	errTimeout  errCode = "timeout"
+	errCanceled errCode = "canceled"
+	errOther    errCode = "error"
+)
+
+// ErrRemote wraps a non-sentinel failure reported by another peer.
+var ErrRemote = errors.New("core: remote error")
+
+func encodeErr(err error) (errCode, string) {
+	switch {
+	case err == nil:
+		return errNone, ""
+	case errors.Is(err, lock.ErrDeadlock):
+		return errDeadlock, err.Error()
+	case errors.Is(err, lock.ErrTimeout):
+		return errTimeout, err.Error()
+	case errors.Is(err, lock.ErrCanceled):
+		return errCanceled, err.Error()
+	default:
+		return errOther, err.Error()
+	}
+}
+
+func decodeErr(code errCode, detail string) error {
+	switch code {
+	case errNone:
+		return nil
+	case errDeadlock:
+		return lock.ErrDeadlock
+	case errTimeout:
+		return lock.ErrTimeout
+	case errCanceled:
+		return lock.ErrCanceled
+	default:
+		return fmt.Errorf("%w: %s", ErrRemote, detail)
+	}
+}
+
+// lockReplica carries one client-held lock to be replicated at the server
+// (deescalation replies, purge notices, callback-blocked handling).
+type lockReplica struct {
+	Tx   lock.TxID
+	Item storage.ItemID
+	Mode lock.Mode
+}
+
+// purgeNotice tells an owner that a page dropped out of a client cache. It
+// carries the install count for purge-race detection, the local locks that
+// must be replicated when the page was in use, and early-shipped log
+// records for dirty objects that were evicted before commit.
+type purgeNotice struct {
+	Page    storage.ItemID
+	Install uint64
+	Locks   []lockReplica
+	Records []wal.Record
+}
+
+// rpcEnvelope frames every client->server request, with piggybacked purge
+// notices.
+type rpcEnvelope struct {
+	ReqID uint64
+	From  string
+	Pig   []purgeNotice
+	Body  any
+}
+
+// rpcReply frames the response.
+type rpcReply struct {
+	ReqID  uint64
+	Code   errCode
+	Detail string
+	Body   any
+}
+
+// readReq asks the owner for read access to Obj (an object item, or a page
+// item when WholePage — PS reads and explicit SH page locks).
+type readReq struct {
+	Tx        lock.TxID
+	Obj       storage.ItemID
+	WholePage bool
+}
+
+// readResp ships the containing page — or, under the OS protocol, just
+// the requested object's bytes.
+type readResp struct {
+	Page    *storage.Page
+	Avail   storage.AvailMask
+	Install uint64
+	ObjData []byte
+}
+
+// writeReq asks the owner for write permission on Obj (object item; page
+// item under PS).
+type writeReq struct {
+	Tx       lock.TxID
+	Obj      storage.ItemID
+	HavePage bool
+	HaveObj  bool
+}
+
+// writeResp grants write permission. Page is set when the client lacked
+// the page; ObjData is set when the client lacked the object's bytes.
+type writeResp struct {
+	Adaptive bool
+	Page     *storage.Page
+	Avail    storage.AvailMask
+	Install  uint64
+	ObjData  []byte
+}
+
+// lockReq propagates an explicit hierarchical lock request (file, volume,
+// or page IS/IX/SIX; SH page locks travel as readReq{WholePage}).
+type lockReq struct {
+	Tx   lock.TxID
+	Item storage.ItemID
+	Mode lock.Mode
+}
+
+// lockResp acknowledges an explicit lock.
+type lockResp struct{}
+
+// prepareReq ships a transaction's log records to one owner (2PC phase 1).
+type prepareReq struct {
+	Tx      lock.TxID
+	Records []wal.Record
+}
+
+// prepareResp is the owner's vote.
+type prepareResp struct{}
+
+// finishReq finishes a transaction at one owner: commit (phase 2) or abort.
+type finishReq struct {
+	Tx     lock.TxID
+	Commit bool
+}
+
+// finishResp acknowledges the finish.
+type finishResp struct{}
+
+// releaseReq releases a transaction's locks at a peer where they were
+// replicated (via callback-blocked replies or purge notices) without the
+// transaction having spread there. It is idempotent.
+type releaseReq struct {
+	Tx lock.TxID
+}
+
+// releaseResp acknowledges the release.
+type releaseResp struct{}
+
+// deescReq asks a client to deescalate all adaptive locks on Page.
+type deescReq struct {
+	Page storage.ItemID
+}
+
+// deescResp lists the EX object locks held by the client's transactions on
+// objects of the page, to be replicated at the server.
+type deescResp struct {
+	Locks []lockReplica
+}
+
+// callbackReq asks a client to invalidate Item (an object — possibly the
+// page's dummy object — or, under PS, the whole page).
+type callbackReq struct {
+	OpID   uint64
+	Server string
+	Tx     lock.TxID // the calling-back transaction
+	Item   storage.ItemID
+	Page   storage.ItemID
+}
+
+// callbackAck completes one client's part of a callback operation.
+// Invalidated reports that the whole page is (now) absent at the client.
+type callbackAck struct {
+	OpID        uint64
+	Client      string
+	Invalidated bool
+}
+
+// callbackBlocked replicates a client-side lock conflict at the server
+// before the callback thread blocks (paper §4.2.1). Item is the item the
+// callback blocked on: the page (hierarchical callbacks) or the object.
+type callbackBlocked struct {
+	OpID      uint64
+	Client    string
+	Item      storage.ItemID
+	Conflicts []lockReplica // the local locks that block the callback
+}

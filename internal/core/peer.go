@@ -1,0 +1,389 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
+	"adaptivecc/internal/tx"
+	"adaptivecc/internal/wal"
+)
+
+// Peer is one peer server: the owner ("server" role) of its volumes and
+// the local agent ("client" role) of the applications attached to it.
+type Peer struct {
+	name string
+	sys  *System
+	cfg  Config
+
+	cpu   *sim.Resource
+	stats *sim.Stats
+	waits *sim.WaitTracker
+
+	locks    *lock.Manager
+	pool     *buffer.Pool // client role: cache of remote pages
+	srvPool  *buffer.Pool // server role: buffer over owned volumes
+	volumes  map[storage.VolumeID]*storage.Volume
+	slog     *wal.StableLog
+	logCache *wal.Cache
+	reg      *tx.Registry
+
+	cs *clientState
+	ct *copyTable
+
+	mu         sync.Mutex
+	nextReq    uint64
+	pendingRPC map[uint64]chan rpcReply
+	nextOp     uint64
+	cbOps      map[uint64]*cbOp
+	pendingCB  map[storage.ItemID]lock.TxID // object -> calling-back tx
+
+	// replicatedAt tracks, per local transaction, the owners at which its
+	// local-only locks have been replicated (callback-blocked replies,
+	// purge notices); the transaction's finish must release them there.
+	replicatedAt map[lock.TxID]map[string]bool
+	// finished is a bounded tombstone set of transactions already finished
+	// at this peer's server role: late lock replications for them are
+	// dropped instead of installing zombie locks.
+	finished     map[lock.TxID]bool
+	finishedRing []lock.TxID
+	finishedIdx  int
+}
+
+// finishedRingSize bounds the tombstone set.
+const finishedRingSize = 8192
+
+func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols []*storage.Volume) *Peer {
+	cfg := s.cfg
+	if serverPoolPages <= 0 {
+		serverPoolPages = cfg.ServerPoolPages
+	}
+	if clientPoolPages <= 0 {
+		clientPoolPages = cfg.ClientPoolPages
+	}
+	waits := sim.NewWaitTracker(cfg.TimeoutInflate, cfg.TimeoutFloor, cfg.TimeoutCeil)
+	p := &Peer{
+		name:         name,
+		sys:          s,
+		cfg:          cfg,
+		cpu:          sim.NewResource("cpu-"+name, cfg.Costs),
+		stats:        s.stats,
+		waits:        waits,
+		locks:        lock.NewManager(s.stats, waits),
+		pool:         buffer.NewPool(clientPoolPages),
+		srvPool:      buffer.NewPool(serverPoolPages),
+		volumes:      make(map[storage.VolumeID]*storage.Volume, len(vols)),
+		logCache:     wal.NewCache(s.stats),
+		reg:          tx.NewRegistry(name),
+		cs:           newClientState(),
+		ct:           newCopyTable(),
+		pendingRPC:   make(map[uint64]chan rpcReply),
+		cbOps:        make(map[uint64]*cbOp),
+		pendingCB:    make(map[storage.ItemID]lock.TxID),
+		replicatedAt: make(map[lock.TxID]map[string]bool),
+		finished:     make(map[lock.TxID]bool),
+		finishedRing: make([]lock.TxID, finishedRingSize),
+	}
+	for _, v := range vols {
+		p.volumes[v.ID] = v
+	}
+	if len(vols) > 0 {
+		logDisk := storage.NewDisk("logdisk-"+name, cfg.Costs, s.stats)
+		p.slog = wal.NewStableLog(logDisk)
+	}
+	return p
+}
+
+// Name reports the peer's network name.
+func (p *Peer) Name() string { return p.name }
+
+// CPU exposes the peer's CPU resource (for utilization reporting).
+func (p *Peer) CPU() *sim.Resource { return p.cpu }
+
+// Locks exposes the peer's lock table (tests and diagnostics).
+func (p *Peer) Locks() *lock.Manager { return p.locks }
+
+// ClientPool exposes the client-role buffer pool (tests and diagnostics).
+func (p *Peer) ClientPool() *buffer.Pool { return p.pool }
+
+// ServerPool exposes the server-role buffer pool (tests and diagnostics).
+func (p *Peer) ServerPool() *buffer.Pool { return p.srvPool }
+
+// owns reports whether this peer owns the item's volume.
+func (p *Peer) owns(item storage.ItemID) bool {
+	_, ok := p.volumes[item.Vol]
+	return ok
+}
+
+// waitTimeout returns the lock-wait timeout in force at this peer: zero
+// (wait forever) when timeouts are disabled, the adaptive mean+stddev
+// heuristic by default, or the configured fixed value for the ablation.
+func (p *Peer) waitTimeout() time.Duration {
+	if !p.cfg.UseTimeouts {
+		return 0
+	}
+	if p.cfg.AdaptiveTimeout {
+		return p.waits.Timeout()
+	}
+	return p.cfg.FixedTimeout
+}
+
+// handle is the transport delivery entry point; it runs in a fresh
+// goroutine per message (the receiving "thread").
+func (p *Peer) handle(m transport.Message) {
+	switch m.Kind {
+	case kindRequest:
+		env, ok := m.Payload.(rpcEnvelope)
+		if !ok {
+			return
+		}
+		p.processPiggyback(env.From, env.Pig)
+		p.cpu.Use(p.cfg.Costs.LockCPU)
+		body, err := p.serveRequest(env.From, env.Body)
+		code, detail := encodeErr(err)
+		reply := rpcReply{ReqID: env.ReqID, Code: code, Detail: detail, Body: body}
+		carries := replyCarriesPage(body)
+		_ = p.sys.net.Send(transport.Message{
+			From: p.name, To: env.From, Kind: kindReply,
+			CarriesPage: carries, Payload: reply,
+		}, transport.AnyPath)
+
+	case kindReply:
+		reply, ok := m.Payload.(rpcReply)
+		if !ok {
+			return
+		}
+		p.mu.Lock()
+		ch := p.pendingRPC[reply.ReqID]
+		delete(p.pendingRPC, reply.ReqID)
+		p.mu.Unlock()
+		if ch != nil {
+			ch <- reply
+		}
+
+	case kindCallback:
+		req, ok := m.Payload.(callbackReq)
+		if !ok {
+			return
+		}
+		p.handleCallback(req)
+
+	case kindCallbackAck:
+		ack, ok := m.Payload.(callbackAck)
+		if !ok {
+			return
+		}
+		p.routeCallbackEvent(ack.OpID, cbEvent{ack: &ack})
+
+	case kindCallbackBlocked:
+		bl, ok := m.Payload.(callbackBlocked)
+		if !ok {
+			return
+		}
+		p.stats.Inc(sim.CtrCallbackBlocked)
+		p.routeCallbackEvent(bl.OpID, cbEvent{blocked: &bl})
+
+	case kindPurgeFlush:
+		env, ok := m.Payload.(rpcEnvelope)
+		if !ok {
+			return
+		}
+		p.processPiggyback(env.From, env.Pig)
+	}
+}
+
+func replyCarriesPage(body any) bool {
+	switch b := body.(type) {
+	case readResp:
+		return b.Page != nil
+	case writeResp:
+		return b.Page != nil
+	default:
+		return false
+	}
+}
+
+// call performs a synchronous request to another peer, piggybacking any
+// queued purge notices for that destination.
+func (p *Peer) call(dest string, body any) (any, error) {
+	if dest == p.name {
+		return nil, fmt.Errorf("core: self-call at %s", p.name)
+	}
+	ch := make(chan rpcReply, 1)
+	p.mu.Lock()
+	p.nextReq++
+	id := p.nextReq
+	p.pendingRPC[id] = ch
+	p.mu.Unlock()
+
+	env := rpcEnvelope{ReqID: id, From: p.name, Pig: p.cs.takePurges(dest), Body: body}
+	if err := p.sys.net.Send(transport.Message{
+		From: p.name, To: dest, Kind: kindRequest, Payload: env,
+	}, transport.AnyPath); err != nil {
+		p.mu.Lock()
+		delete(p.pendingRPC, id)
+		p.mu.Unlock()
+		return nil, err
+	}
+	reply := <-ch
+	return reply.Body, decodeErr(reply.Code, reply.Detail)
+}
+
+// flushPurges sends queued purge notices to owner immediately (used when a
+// notice carries early log records that the owner should redo promptly).
+func (p *Peer) flushPurges(owner string) {
+	pig := p.cs.takePurges(owner)
+	if len(pig) == 0 {
+		return
+	}
+	_ = p.sys.net.Send(transport.Message{
+		From: p.name, To: owner, Kind: kindPurgeFlush,
+		Payload: rpcEnvelope{From: p.name, Pig: pig},
+	}, transport.AnyPath)
+}
+
+// processPiggyback applies purge notices received from a client: drop the
+// copy table entries (detecting purge races via install counts), replicate
+// the local locks the client reported, and redo any early-shipped records.
+func (p *Peer) processPiggyback(from string, pig []purgeNotice) {
+	for _, n := range pig {
+		if !p.ct.removeCopy(n.Page, from, n.Install) {
+			if p.ct.hasCopy(n.Page, from) {
+				// The client re-fetched the page after sending this notice:
+				// the purge request lost the race and must be ignored.
+				p.stats.Inc(sim.CtrPurgeRaces)
+			}
+		}
+		for _, r := range n.Locks {
+			p.forceGrantReplica(r)
+		}
+		if len(n.Records) > 0 {
+			p.appendAndRedo(n.Records)
+		}
+	}
+}
+
+// routeCallbackEvent hands an ack/blocked message to its operation.
+func (p *Peer) routeCallbackEvent(opID uint64, ev cbEvent) {
+	p.mu.Lock()
+	op := p.cbOps[opID]
+	p.mu.Unlock()
+	if op != nil {
+		op.events <- ev
+	}
+}
+
+// registerOp installs a callback operation for event routing.
+func (p *Peer) registerOp(op *cbOp) {
+	p.mu.Lock()
+	p.cbOps[op.id] = op
+	p.mu.Unlock()
+}
+
+// unregisterOp removes a finished callback operation.
+func (p *Peer) unregisterOp(op *cbOp) {
+	p.mu.Lock()
+	delete(p.cbOps, op.id)
+	p.mu.Unlock()
+}
+
+// newOpID allocates a callback operation ID.
+func (p *Peer) newOpID() uint64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nextOp++
+	return p.nextOp
+}
+
+// noteReplicated records that txid's local-only locks were replicated at
+// owner and therefore must be released there when txid finishes. If the
+// transaction has already finished (the replication lost a race with the
+// commit), a release is sent immediately instead.
+func (p *Peer) noteReplicated(txid lock.TxID, owner string) {
+	if isCallbackThread(txid) || owner == p.name {
+		return
+	}
+	p.mu.Lock()
+	set, ok := p.replicatedAt[txid]
+	if !ok {
+		set = make(map[string]bool)
+		p.replicatedAt[txid] = set
+	}
+	set[owner] = true
+	p.mu.Unlock()
+	if _, live := p.reg.Get(txid); !live && txid.Site == p.name {
+		p.sendRelease(txid, owner)
+	}
+}
+
+// takeReplicated drains the replication set of a finishing transaction.
+func (p *Peer) takeReplicated(txid lock.TxID) []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	set := p.replicatedAt[txid]
+	delete(p.replicatedAt, txid)
+	out := make([]string, 0, len(set))
+	for o := range set {
+		out = append(out, o)
+	}
+	return out
+}
+
+// sendRelease asks owner to drop txid's locks (fire-and-forget RPC).
+func (p *Peer) sendRelease(txid lock.TxID, owner string) {
+	_, _ = p.call(owner, releaseReq{Tx: txid})
+}
+
+// markFinished tombstones a transaction at this peer's server role.
+func (p *Peer) markFinished(txid lock.TxID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.finished[txid] {
+		return
+	}
+	old := p.finishedRing[p.finishedIdx]
+	if !old.Zero() {
+		delete(p.finished, old)
+	}
+	p.finishedRing[p.finishedIdx] = txid
+	p.finishedIdx = (p.finishedIdx + 1) % finishedRingSize
+	p.finished[txid] = true
+}
+
+// isFinished reports whether a transaction is tombstoned here.
+func (p *Peer) isFinished(txid lock.TxID) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.finished[txid]
+}
+
+// setPendingCB marks an in-progress callback operation on an object, used
+// by the unavailable-object rule (§4.2.3 condition 3).
+func (p *Peer) setPendingCB(obj storage.ItemID, t lock.TxID) {
+	p.mu.Lock()
+	p.pendingCB[obj] = t
+	p.mu.Unlock()
+}
+
+// clearPendingCB removes the pending-callback mark.
+func (p *Peer) clearPendingCB(obj storage.ItemID) {
+	p.mu.Lock()
+	delete(p.pendingCB, obj)
+	p.mu.Unlock()
+}
+
+// pendingCBHolders snapshots the pending callback registry.
+func (p *Peer) pendingCBSnapshot() map[storage.ItemID]lock.TxID {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make(map[storage.ItemID]lock.TxID, len(p.pendingCB))
+	for k, v := range p.pendingCB {
+		out[k] = v
+	}
+	return out
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/verify"
+)
+
+// TestSerializabilityOracle is the strongest whole-system check: random
+// concurrent read-modify-write transactions run against every protocol;
+// each committed write is tagged with the writing transaction's name, each
+// read records which committed version it observed, and the conflict graph
+// of the committed history must be acyclic.
+func TestSerializabilityOracle(t *testing.T) {
+	for _, proto := range []Protocol{PS, PSOO, PSOA, PSAA, OS} {
+		t.Run(proto.String(), func(t *testing.T) {
+			tc := newCluster(t, proto, 3, 4)
+			hist := verify.NewHistory()
+
+			decode := func(raw []byte) verify.Version {
+				trimmed := bytes.TrimRight(raw, "\x00")
+				return verify.Version{Writer: string(trimmed)}
+			}
+
+			var wg sync.WaitGroup
+			for ci, c := range tc.clients {
+				wg.Add(1)
+				go func(ci int, p *Peer) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(ci)*7 + 3))
+					for n := 0; n < 40; n++ {
+						// Pick 2-3 distinct objects.
+						objs := make(map[storage.ItemID]bool)
+						for len(objs) < 2+rng.Intn(2) {
+							objs[objID(uint32(rng.Intn(4)), uint16(rng.Intn(4)))] = true
+						}
+						for {
+							x := p.Begin()
+							rec := verify.TxRecord{Name: x.ID().String()}
+							failed := false
+							for obj := range objs {
+								raw, err := x.Read(obj)
+								if err != nil {
+									failed = true
+									break
+								}
+								op := verify.Op{
+									Object:  obj.String(),
+									Read:    decode(raw),
+									DidRead: true,
+								}
+								if rng.Intn(2) == 0 {
+									if err := x.Write(obj, []byte(rec.Name)); err != nil {
+										failed = true
+										break
+									}
+									op.Wrote = true
+								}
+								rec.Ops = append(rec.Ops, op)
+							}
+							if !failed && x.Commit() == nil {
+								hist.Commit(rec)
+								break
+							}
+							_ = x.Abort()
+							time.Sleep(time.Duration(rng.Intn(3)+1) * time.Millisecond)
+						}
+					}
+				}(ci, c)
+			}
+			wg.Wait()
+
+			if hist.Len() != 120 {
+				t.Fatalf("committed %d transactions, want 120", hist.Len())
+			}
+			if err := hist.Check(); err != nil {
+				var cyc *verify.CycleError
+				if errors.As(err, &cyc) {
+					t.Fatalf("%v produced a NON-SERIALIZABLE history: %v", proto, cyc.Cycle)
+				}
+				t.Fatalf("history check: %v", err)
+			}
+		})
+	}
+}

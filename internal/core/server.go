@@ -1,0 +1,377 @@
+package core
+
+import (
+	"fmt"
+
+	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/wal"
+)
+
+// serveRequest dispatches one incoming request. It runs in the receiving
+// thread's goroutine and is also invoked directly (with from == p.name)
+// when a local transaction accesses data this peer owns.
+func (p *Peer) serveRequest(from string, body any) (any, error) {
+	switch rq := body.(type) {
+	case readReq:
+		return p.srvRead(from, rq)
+	case writeReq:
+		return p.srvWrite(from, rq)
+	case lockReq:
+		return p.srvLock(from, rq)
+	case prepareReq:
+		return p.srvPrepare(from, rq)
+	case finishReq:
+		return p.srvFinish(from, rq)
+	case releaseReq:
+		return p.srvRelease(rq)
+	case deescReq:
+		return p.clientDeescalate(from, rq)
+	default:
+		return nil, fmt.Errorf("core: unknown request %T", body)
+	}
+}
+
+// srvRead serves a read request: deescalate foreign adaptive locks, lock
+// the item on behalf of the requesting transaction, and ship the page.
+func (p *Peer) srvRead(from string, rq readReq) (any, error) {
+	remote := from != p.name
+	if remote {
+		p.stats.Inc(sim.CtrReadRequests)
+	}
+	obj := rq.Obj
+	pageID := obj.PageID()
+
+	if err := p.srvDeescalate(pageID, from); err != nil {
+		return nil, err
+	}
+	if err := p.locks.Lock(rq.Tx, obj, lock.SH, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+		return nil, err
+	}
+	if !remote {
+		// The owner's own transactions read the server buffer directly; no
+		// page is shipped and no copy-table entry is made.
+		return readResp{}, nil
+	}
+	if p.cfg.Protocol.objectTransfers() && !rq.WholePage {
+		// OS: ship only the requested object. The copy table still tracks
+		// the page so callbacks reach every client caching any of its
+		// objects.
+		data, err := p.srvObjectBytes(obj)
+		if err != nil {
+			return nil, err
+		}
+		install := p.ct.addCopy(pageID, from)
+		return readResp{ObjData: data, Install: install}, nil
+	}
+	page, err := p.srvFetchPage(pageID)
+	if err != nil {
+		return nil, err
+	}
+	avail := storage.AllAvailable(page.NumObjects())
+	if !rq.WholePage {
+		avail = p.availMaskFor(pageID, obj, from, page.NumObjects())
+	}
+	install := p.ct.addCopy(pageID, from)
+	return readResp{Page: page, Avail: avail, Install: install}, nil
+}
+
+// srvWrite serves a write-permission request: deescalate, lock EX, run the
+// callback operation, and decide adaptivity.
+func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
+	remote := from != p.name
+	if remote {
+		p.stats.Inc(sim.CtrWriteRequests)
+	}
+	obj := rq.Obj
+	pageID := obj.PageID()
+
+	if err := p.srvDeescalate(pageID, from); err != nil {
+		return nil, err
+	}
+	if err := p.locks.Lock(rq.Tx, obj, lock.EX, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+		return nil, err
+	}
+
+	allInvalidated, err := p.runCallbackOp(rq.Tx, obj, pageID, from)
+	if err != nil {
+		return nil, err
+	}
+
+	var resp writeResp
+	switch {
+	case obj.Level == storage.LevelPage:
+		// PS or explicit EX page lock: the page-level EX lock itself is the
+		// standing write permission for the whole page.
+		resp.Adaptive = true
+	case p.cfg.Protocol.adaptiveLocking():
+		if allInvalidated && !p.foreignObjectLocks(pageID, from, rq.Tx) {
+			p.locks.SetAdaptive(rq.Tx, pageID, true)
+			p.stats.Inc(sim.CtrAdaptiveGrants)
+			resp.Adaptive = true
+		}
+	}
+
+	if remote {
+		if !rq.HavePage {
+			page, err := p.srvFetchPage(pageID)
+			if err != nil {
+				return nil, err
+			}
+			resp.Page = page
+			if obj.Level == storage.LevelObject {
+				resp.Avail = p.availMaskFor(pageID, obj, from, page.NumObjects())
+			} else {
+				resp.Avail = storage.AllAvailable(page.NumObjects())
+			}
+			resp.Install = p.ct.addCopy(pageID, from)
+		} else if !rq.HaveObj && obj.Level == storage.LevelObject {
+			data, err := p.srvObjectBytes(obj)
+			if err != nil {
+				return nil, err
+			}
+			resp.ObjData = data
+			if p.cfg.Protocol.objectTransfers() {
+				// OS: shipping the object establishes a cached copy.
+				resp.Install = p.ct.addCopy(pageID, from)
+			}
+		}
+	}
+	return resp, nil
+}
+
+// srvLock serves an explicit hierarchical lock request for files, volumes,
+// and page IS/IX/SIX/EX modes (explicit SH page locks travel as whole-page
+// reads).
+func (p *Peer) srvLock(from string, rq lockReq) (any, error) {
+	if err := p.locks.Lock(rq.Tx, rq.Item, rq.Mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+		return nil, err
+	}
+	switch rq.Item.Level {
+	case storage.LevelFile, storage.LevelVolume:
+		if rq.Mode == lock.EX {
+			if err := p.runFileCallbackOp(rq.Tx, rq.Item, from); err != nil {
+				return nil, err
+			}
+		}
+	case storage.LevelPage:
+		switch rq.Mode {
+		case lock.EX:
+			if _, err := p.runCallbackOp(rq.Tx, rq.Item, rq.Item, from); err != nil {
+				return nil, err
+			}
+		case lock.IX, lock.SIX:
+			// Clients may hold local-only SH page locks; call back the
+			// page's dummy object so they surface and are invalidated
+			// (§4.3.2).
+			dummy := storage.ObjectItem(rq.Item.Vol, rq.Item.File, rq.Item.Page, storage.DummySlot)
+			if err := p.locks.Lock(rq.Tx, dummy, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+				return nil, err
+			}
+			if _, err := p.runCallbackOp(rq.Tx, dummy, rq.Item, from); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return lockResp{}, nil
+}
+
+// srvPrepare is 2PC phase one at an owner: force the records to the log
+// and redo them into the server buffer.
+func (p *Peer) srvPrepare(from string, rq prepareReq) (any, error) {
+	if p.slog == nil {
+		return nil, fmt.Errorf("core: peer %s owns no volumes", p.name)
+	}
+	p.appendAndRedo(rq.Records)
+	return prepareResp{}, nil
+}
+
+// srvFinish is 2PC phase two (commit) or an abort at an owner.
+func (p *Peer) srvFinish(from string, rq finishReq) (any, error) {
+	p.markFinished(rq.Tx)
+	if rq.Commit {
+		if p.slog != nil {
+			p.slog.Commit(rq.Tx)
+		}
+	} else if p.slog != nil {
+		for _, rec := range p.slog.Abort(rq.Tx) {
+			p.undoOne(rec)
+		}
+	}
+	p.locks.ReleaseAll(rq.Tx)
+	return finishResp{}, nil
+}
+
+// srvRelease drops the replicated locks of a transaction that finished at
+// its home without ever spreading here.
+func (p *Peer) srvRelease(rq releaseReq) (any, error) {
+	p.markFinished(rq.Tx)
+	p.locks.ReleaseAll(rq.Tx)
+	return releaseResp{}, nil
+}
+
+// srvDeescalate tears down adaptive page locks held by transactions from
+// clients other than requester (paper §4.1.2): the holding client reports
+// the EX object locks of its local transactions, which are replicated here
+// before the requester's operation proceeds.
+func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string) error {
+	holders := p.locks.AdaptiveHolders(pageID)
+	client := ""
+	for _, t := range holders {
+		if t.Site != requester {
+			client = t.Site
+			break
+		}
+	}
+	if client == "" {
+		return nil
+	}
+	p.stats.Inc(sim.CtrDeescalations)
+	var (
+		body any
+		err  error
+	)
+	if client == p.name {
+		body, err = p.clientDeescalate(p.name, deescReq{Page: pageID})
+	} else {
+		body, err = p.call(client, deescReq{Page: pageID})
+	}
+	if err != nil {
+		return err
+	}
+	resp, ok := body.(deescResp)
+	if !ok {
+		return fmt.Errorf("core: bad deescalation reply %T", body)
+	}
+	for _, r := range resp.Locks {
+		p.forceGrantReplica(r)
+	}
+	for _, t := range holders {
+		if t.Site != requester {
+			p.locks.SetAdaptive(t, pageID, false)
+		}
+	}
+	return nil
+}
+
+// foreignObjectLocks reports whether any transaction homed at a client
+// other than `client` holds an object-level lock under pageID. An adaptive
+// page lock must not be granted in that case.
+func (p *Peer) foreignObjectLocks(pageID storage.ItemID, client string, self lock.TxID) bool {
+	for _, info := range p.locks.LocksWithin(pageID) {
+		if info.Item.Level != storage.LevelObject {
+			continue
+		}
+		if info.Tx != self && info.Tx.Site != client {
+			return true
+		}
+	}
+	return false
+}
+
+// availMaskFor computes the unavailable-object mask of §4.2.3: before
+// shipping page P to a client, an object X in P is marked unavailable if
+// (1) X is not the requested object, and either (2) X is EX-locked by a
+// transaction homed at another client, or (3) a callback operation on X by
+// such a transaction is pending.
+func (p *Peer) availMaskFor(pageID, reqObj storage.ItemID, client string, numObjects int) storage.AvailMask {
+	mask := storage.AllAvailable(numObjects)
+	for _, info := range p.locks.LocksWithin(pageID) {
+		if info.Item.Level != storage.LevelObject || info.Item == reqObj {
+			continue
+		}
+		if info.Mode == lock.EX && info.Tx.Site != client {
+			mask = mask.Without(info.Item.Slot)
+		}
+	}
+	for obj, t := range p.pendingCBSnapshot() {
+		if pageID.Contains(obj) && obj != reqObj && t.Site != client {
+			mask = mask.Without(obj.Slot)
+		}
+	}
+	return mask
+}
+
+// srvFetchPage returns a deep copy of a page from the server buffer,
+// reading it from disk on a miss.
+func (p *Peer) srvFetchPage(pageID storage.ItemID) (*storage.Page, error) {
+	if pg, _, ok := p.srvPool.ClonePage(pageID); ok {
+		return pg, nil
+	}
+	vol, ok := p.volumes[pageID.Vol]
+	if !ok {
+		return nil, fmt.Errorf("core: peer %s does not own %v", p.name, pageID)
+	}
+	pg, err := vol.ReadPage(pageID)
+	if err != nil {
+		return nil, err
+	}
+	evs := p.srvPool.Insert(pageID, pg, storage.AllAvailable(pg.NumObjects()))
+	p.writeBackEvictions(evs)
+	return pg.Clone(), nil
+}
+
+// srvObjectBytes returns the current bytes of an owned object.
+func (p *Peer) srvObjectBytes(obj storage.ItemID) ([]byte, error) {
+	pageID := obj.PageID()
+	if data, ok := p.srvPool.ReadObject(pageID, obj.Slot); ok {
+		return data, nil
+	}
+	if _, err := p.srvFetchPage(pageID); err != nil {
+		return nil, err
+	}
+	data, ok := p.srvPool.ReadObject(pageID, obj.Slot)
+	if !ok {
+		return nil, fmt.Errorf("core: object %v unreadable after fetch", obj)
+	}
+	return data, nil
+}
+
+// writeBackEvictions flushes dirty pages evicted from the server buffer to
+// their volumes.
+func (p *Peer) writeBackEvictions(evs []buffer.Eviction) {
+	for _, ev := range evs {
+		if ev.Dirty == 0 {
+			continue
+		}
+		if vol, ok := p.volumes[ev.ID.Vol]; ok {
+			_ = vol.WritePage(ev.Page)
+		}
+	}
+}
+
+// appendAndRedo forces records to the stable log and redoes them into the
+// server buffer (redo-at-server, §3.3).
+func (p *Peer) appendAndRedo(recs []wal.Record) {
+	if p.slog == nil || len(recs) == 0 {
+		return
+	}
+	p.slog.Append(recs)
+	for _, r := range recs {
+		p.installBytes(r.Object, r.After, true)
+	}
+}
+
+// undoOne applies a record's before-image during abort processing.
+func (p *Peer) undoOne(rec wal.Record) {
+	p.installBytes(rec.Object, rec.Before, false)
+}
+
+// installBytes writes object bytes into the server buffer, fetching the
+// page from disk if non-resident. Redo-time fetches are the extra reads
+// the paper attributes to the redo-at-server scheme.
+func (p *Peer) installBytes(obj storage.ItemID, data []byte, redo bool) {
+	pageID := obj.PageID()
+	if !p.srvPool.Contains(pageID) {
+		if redo {
+			p.stats.Inc(sim.CtrRedoPageReads)
+		}
+		if _, err := p.srvFetchPage(pageID); err != nil {
+			return
+		}
+	}
+	_ = p.srvPool.InstallObject(pageID, obj.Slot, data)
+	p.srvPool.SetDirtySlot(pageID, obj.Slot, true)
+}

@@ -1,0 +1,18 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+var traceEnabled atomic.Bool
+
+// EnableTrace turns on diagnostic tracing (tests only).
+func EnableTrace(v bool) { traceEnabled.Store(v) }
+
+func tracef(format string, args ...any) {
+	if traceEnabled.Load() {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+}

@@ -1,0 +1,421 @@
+// Package harness builds the paper's experimental platform (Table 1) in
+// both the client-server and peer-servers configurations, runs the Table 2
+// workloads against a chosen cache consistency protocol, and reports the
+// throughput and operation counts behind Figures 6–15.
+package harness
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"adaptivecc/internal/core"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/workload"
+)
+
+// Mode selects the system configuration (§5.1).
+type Mode int
+
+// The two configurations of the paper's study.
+const (
+	ClientServer Mode = iota + 1
+	PeerServers
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	switch m {
+	case ClientServer:
+		return "client-server"
+	case PeerServers:
+		return "peer-servers"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Platform mirrors Table 1 of the paper, plus the simulation scale.
+type Platform struct {
+	NumApplications int     // concurrent application programs
+	DatabasePages   uint32  // database size in pages
+	ObjectsPerPage  int     // objects per page
+	PageSize        int     // bytes per page
+	ClientBufFrac   float64 // per-client cache, fraction of DB
+	ServerBufFrac   float64 // server cache, fraction of DB
+	PeerBufFrac     float64 // peer server cache, fraction of DB
+	NumPaths        int     // communication paths per peer pair
+	TimeScale       float64 // sim cost scale (1.0 = paper milliseconds)
+	Seed            int64
+}
+
+// DefaultPlatform returns the paper's Table 1 settings. The default
+// TimeScale of 0.5 runs the model at twice paper speed.
+func DefaultPlatform() Platform {
+	return Platform{
+		NumApplications: 10,
+		DatabasePages:   11250,
+		ObjectsPerPage:  20,
+		PageSize:        4096,
+		ClientBufFrac:   0.25,
+		ServerBufFrac:   0.50,
+		PeerBufFrac:     0.25,
+		NumPaths:        3,
+		TimeScale:       0.5,
+		Seed:            1,
+	}
+}
+
+// SmallPlatform returns a scaled-down platform for fast benchmarks and
+// tests: same structure, 1/10 of the database, 4 applications.
+func SmallPlatform() Platform {
+	p := DefaultPlatform()
+	p.NumApplications = 4
+	p.DatabasePages = 1200
+	return p
+}
+
+// Experiment describes one data point: a workload, a protocol, a mode, and
+// a write probability.
+type Experiment struct {
+	Name         string
+	Workload     workload.Kind
+	HighLocality bool
+	WriteProb    float64
+	Protocol     core.Protocol
+	Mode         Mode
+	// Warmup and Measure are wall-clock windows (already at TimeScale).
+	Warmup  time.Duration
+	Measure time.Duration
+	// PropagateSHPage enables the §4.3.1 ablation.
+	PropagateSHPage bool
+	// FixedTimeout (if nonzero) replaces the adaptive timeout heuristic.
+	FixedTimeout time.Duration
+	// NoTimeouts disables lock-wait timeouts entirely (client-server
+	// deadlocks are still detected exactly at the server).
+	NoTimeouts bool
+}
+
+// Result is one measured data point.
+type Result struct {
+	Experiment Experiment
+	// Throughput is committed transactions per second of *paper time*
+	// (wall-clock time divided by TimeScale).
+	Throughput float64
+	Commits    int64
+	Aborts     int64
+	Elapsed    time.Duration // wall clock of the measurement window
+	// PerCommit operation rates.
+	MessagesPerCommit  float64
+	CallbacksPerCommit float64
+	DiskIOPerCommit    float64
+	// Raw counter deltas over the measurement window.
+	Counters map[string]int64
+}
+
+// cluster is a built system plus the application homes.
+type cluster struct {
+	sys   *core.System
+	apps  []*core.Peer // apps[i] is where application i runs
+	plat  Platform
+	costs sim.CostTable
+}
+
+// buildCluster wires volumes, directory, and peers for the experiment.
+func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
+	costs := sim.DefaultCosts(plat.TimeScale)
+	cfg := core.Config{
+		Protocol:        exp.Protocol,
+		Costs:           costs,
+		ObjectsPerPage:  plat.ObjectsPerPage,
+		ObjectSize:      plat.PageSize / plat.ObjectsPerPage,
+		NumPaths:        plat.NumPaths,
+		Seed:            plat.Seed,
+		UseTimeouts:     !exp.NoTimeouts,
+		AdaptiveTimeout: exp.FixedTimeout == 0,
+		FixedTimeout:    exp.FixedTimeout,
+		PropagateSHPage: exp.PropagateSHPage,
+	}
+	dbPages := plat.DatabasePages
+	clientPool := int(float64(dbPages) * plat.ClientBufFrac)
+
+	switch exp.Mode {
+	case ClientServer:
+		cfg.ClientPoolPages = clientPool
+		cfg.ServerPoolPages = int(float64(dbPages) * plat.ServerBufFrac)
+		sys := core.NewSystem(cfg)
+		vol := storage.NewVolume(1, costs, sys.Stats())
+		if _, err := vol.CreateFile(1, 0, dbPages, plat.ObjectsPerPage, cfg.ObjectSize); err != nil {
+			return nil, err
+		}
+		sys.Directory().AddExtent(1, 1, 0, dbPages)
+		if _, err := sys.AddPeer("srv", vol); err != nil {
+			return nil, err
+		}
+		c := &cluster{sys: sys, plat: plat, costs: costs}
+		for i := 0; i < plat.NumApplications; i++ {
+			p, err := sys.AddPeer(fmt.Sprintf("c%d", i+1))
+			if err != nil {
+				return nil, err
+			}
+			c.apps = append(c.apps, p)
+		}
+		return c, nil
+
+	case PeerServers:
+		// The peer buffer (25% of DB) is split between the server pool
+		// (sized to hold the peer's whole partition, which is how the
+		// paper explains the I/O savings) and the client pool.
+		n := plat.NumApplications
+		extents := partition(exp.Workload, dbPages, n)
+		owned := make([]uint32, n)
+		for _, e := range extents {
+			owned[e.peer] += e.count
+		}
+		sys := core.NewSystem(cfg)
+		c := &cluster{sys: sys, plat: plat, costs: costs}
+
+		vols := make([]*storage.Volume, n)
+		nextPage := make([]uint32, n)
+		for i := 0; i < n; i++ {
+			vols[i] = storage.NewVolume(storage.VolumeID(i+1), costs, sys.Stats())
+			if _, err := vols[i].CreateFile(1, 0, owned[i], plat.ObjectsPerPage, cfg.ObjectSize); err != nil {
+				return nil, err
+			}
+		}
+		for _, e := range extents {
+			sys.Directory().AddExtent(storage.VolumeID(e.peer+1), 1, nextPage[e.peer], e.count)
+			nextPage[e.peer] += e.count
+		}
+		peerBuf := int(float64(dbPages) * plat.PeerBufFrac)
+		for i := 0; i < n; i++ {
+			srvPool := int(owned[i])
+			cliPool := peerBuf - srvPool
+			if cliPool < 64 {
+				cliPool = 64
+			}
+			p, err := sys.AddPeerWithPools(fmt.Sprintf("p%d", i+1), srvPool, cliPool, vols[i])
+			if err != nil {
+				return nil, err
+			}
+			c.apps = append(c.apps, p)
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("harness: unknown mode %v", exp.Mode)
+	}
+}
+
+// extent assigns a run of global pages to a peer.
+type extent struct {
+	peer  int
+	count uint32
+}
+
+// partition lays out the database across peers per §5.5: under HOTCOLD
+// each peer owns the hot range of its local application plus an equal
+// slice of the globally cold remainder; otherwise the database is split
+// into equal contiguous slices.
+func partition(kind workload.Kind, dbPages uint32, n int) []extent {
+	var out []extent
+	switch kind {
+	case workload.HotCold:
+		hotSize := dbPages / uint32(n*5) * 2
+		if hotSize == 0 {
+			hotSize = 1
+		}
+		hotTotal := hotSize * uint32(n)
+		for i := 0; i < n; i++ {
+			out = append(out, extent{peer: i, count: hotSize})
+		}
+		cold := dbPages - hotTotal
+		slice := cold / uint32(n)
+		for i := 0; i < n; i++ {
+			cnt := slice
+			if i == n-1 {
+				cnt = cold - slice*uint32(n-1)
+			}
+			out = append(out, extent{peer: i, count: cnt})
+		}
+	default:
+		slice := dbPages / uint32(n)
+		for i := 0; i < n; i++ {
+			cnt := slice
+			if i == n-1 {
+				cnt = dbPages - slice*uint32(n-1)
+			}
+			out = append(out, extent{peer: i, count: cnt})
+		}
+	}
+	return out
+}
+
+// Run executes one experiment on a fresh cluster and returns its data
+// point.
+func Run(exp Experiment, plat Platform) (Result, error) {
+	if plat.TimeScale <= 0 {
+		return Result{}, fmt.Errorf("harness: TimeScale must be positive")
+	}
+	c, err := buildCluster(exp, plat)
+	if err != nil {
+		return Result{}, err
+	}
+	defer c.sys.Close()
+	return runWindow(c, exp, plat)
+}
+
+// runWindow runs one experiment's warmup and measurement window on an
+// existing cluster; caches carry over between calls, which is how figure
+// sweeps reach the paper's steady state without a cold start per point.
+func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
+	if exp.Measure <= 0 {
+		exp.Measure = 10 * time.Second
+	}
+	stats := c.sys.Stats()
+	apps := make([]*app, len(c.apps))
+	for i := range c.apps {
+		params, err := workload.Spec(exp.Workload, i, len(c.apps), plat.DatabasePages, exp.HighLocality, exp.WriteProb, plat.ObjectsPerPage)
+		if err != nil {
+			return Result{}, err
+		}
+		gen, err := workload.NewGenerator(params, plat.Seed+int64(i)*7919)
+		if err != nil {
+			return Result{}, err
+		}
+		apps[i] = newApp(i, c.apps[i], c.sys, gen, c.costs)
+	}
+
+	for _, a := range apps {
+		a.start()
+	}
+
+	time.Sleep(exp.Warmup)
+	before := stats.Snapshot()
+	start := time.Now()
+	time.Sleep(exp.Measure)
+	after := stats.Snapshot()
+	elapsed := time.Since(start)
+
+	for _, a := range apps {
+		a.stop()
+	}
+
+	deltas := make(map[string]int64, len(after))
+	for k, v := range after {
+		deltas[k] = v - before[k]
+	}
+	commits := deltas[sim.CtrCommits]
+	paperSeconds := elapsed.Seconds() / plat.TimeScale
+	res := Result{
+		Experiment: exp,
+		Commits:    commits,
+		Aborts:     deltas[sim.CtrAborts],
+		Elapsed:    elapsed,
+		Counters:   deltas,
+	}
+	if paperSeconds > 0 {
+		res.Throughput = float64(commits) / paperSeconds
+	}
+	if commits > 0 {
+		res.MessagesPerCommit = float64(deltas[sim.CtrMessages]) / float64(commits)
+		res.CallbacksPerCommit = float64(deltas[sim.CtrCallbacks]) / float64(commits)
+		res.DiskIOPerCommit = float64(deltas[sim.CtrDiskReads]+deltas[sim.CtrDiskWrites]) / float64(commits)
+	}
+	return res, nil
+}
+
+// app drives one application program: transactions generated from its
+// workload, executed back to back, re-executed with the same reference
+// string on abort (§5.1).
+type app struct {
+	idx   int
+	peer  *core.Peer
+	sys   *core.System
+	gen   *workload.Generator
+	costs sim.CostTable
+	rng   *rand.Rand
+
+	stopCh chan struct{}
+	done   chan struct{}
+}
+
+func newApp(idx int, peer *core.Peer, sys *core.System, gen *workload.Generator, costs sim.CostTable) *app {
+	return &app{
+		idx:    idx,
+		peer:   peer,
+		sys:    sys,
+		gen:    gen,
+		costs:  costs,
+		rng:    rand.New(rand.NewSource(int64(idx)*31 + 17)),
+		stopCh: make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+func (a *app) start() { go a.run() }
+
+func (a *app) stop() {
+	close(a.stopCh)
+	<-a.done
+}
+
+func (a *app) stopped() bool {
+	select {
+	case <-a.stopCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (a *app) run() {
+	defer close(a.done)
+	dir := a.sys.Directory()
+	val := make([]byte, 8)
+	for !a.stopped() {
+		trans := a.gen.Next()
+		// Re-execute with the same reference string until committed.
+		for !a.stopped() {
+			x := a.peer.Begin()
+			err := a.execute(x, trans, val)
+			if err == nil {
+				err = x.Commit()
+				if err == nil {
+					break
+				}
+			}
+			_ = x.Abort()
+			// Restart delay in the order of one object processing time,
+			// randomized to break mutual-abort livelock.
+			d := a.costs.Scaled(a.costs.PerObjProc)
+			if d > 0 {
+				time.Sleep(time.Duration(a.rng.Int63n(int64(d)*2 + 1)))
+			}
+		}
+	}
+	_ = dir
+}
+
+func (a *app) execute(x *core.Tx, trans workload.Transaction, val []byte) error {
+	dir := a.sys.Directory()
+	cpu := a.peer.CPU()
+	for _, ref := range trans.Refs {
+		obj, err := dir.LookupObject(ref.Page, ref.Slot)
+		if err != nil {
+			return err
+		}
+		if _, err := x.Read(obj); err != nil {
+			return err
+		}
+		cpu.Use(a.costs.PerObjProc)
+		if ref.Write {
+			a.rng.Read(val)
+			if err := x.Write(obj, val); err != nil {
+				return err
+			}
+			cpu.Use(a.costs.PerObjProc) // doubled when the object is updated
+		}
+	}
+	return nil
+}

@@ -1,0 +1,557 @@
+package lock
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"sync"
+
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+)
+
+// TxID globally identifies a transaction: the name of the site where it
+// originated plus a sequence number unique within that site (paper §4).
+type TxID struct {
+	Site string
+	Seq  uint64
+}
+
+// String renders "site:seq".
+func (t TxID) String() string { return fmt.Sprintf("%s:%d", t.Site, t.Seq) }
+
+// Zero reports whether the ID is the zero value.
+func (t TxID) Zero() bool { return t == TxID{} }
+
+// Sentinel errors returned by Lock.
+var (
+	// ErrDeadlock is returned to the requester chosen as a deadlock victim.
+	ErrDeadlock = errors.New("lock: deadlock victim")
+	// ErrTimeout is returned when a wait exceeds its timeout.
+	ErrTimeout = errors.New("lock: wait timed out")
+	// ErrWouldBlock is returned for NoWait requests that cannot be granted.
+	ErrWouldBlock = errors.New("lock: would block")
+	// ErrCanceled is returned when the waiter's transaction is torn down.
+	ErrCanceled = errors.New("lock: wait canceled")
+)
+
+// Options controls a single Lock call.
+type Options struct {
+	// Timeout bounds the wait; zero means wait forever (subject to
+	// deadlock detection and cancellation).
+	Timeout time.Duration
+	// NoWait makes the request fail with ErrWouldBlock instead of queuing.
+	NoWait bool
+	// SkipAncestors suppresses the implicit intention locks on ancestors.
+	// Callbacks use this: a callback for item I never locks above I's level
+	// (paper §4.3.1).
+	SkipAncestors bool
+	// NoDeadlock suppresses deadlock detection for this wait (used with
+	// timeouts only, for the ablation experiment).
+	NoDeadlock bool
+}
+
+// Holder describes one granted entry on an item.
+type Holder struct {
+	Tx       TxID
+	Mode     Mode
+	Adaptive bool
+}
+
+// Manager is a lock table shared by all transactions at one site.
+type Manager struct {
+	mu    sync.Mutex
+	items map[storage.ItemID]*head
+	byTx  map[TxID]map[storage.ItemID]*grantEntry
+
+	stats *sim.Stats
+	waits *sim.WaitTracker
+}
+
+type head struct {
+	id      storage.ItemID
+	granted map[TxID]*grantEntry
+	queue   []*request
+}
+
+type grantEntry struct {
+	tx       TxID
+	mode     Mode
+	adaptive bool
+}
+
+type request struct {
+	tx      TxID
+	item    storage.ItemID
+	mode    Mode // full target mode (supremum for conversions)
+	convert bool
+	ready   chan error // buffered(1); receives nil on grant
+	granted bool       // set under mu when satisfied
+}
+
+// NewManager returns an empty lock table. stats and waits may be nil.
+func NewManager(stats *sim.Stats, waits *sim.WaitTracker) *Manager {
+	if stats == nil {
+		stats = sim.NewStats()
+	}
+	return &Manager{
+		items: make(map[storage.ItemID]*head),
+		byTx:  make(map[TxID]map[storage.ItemID]*grantEntry),
+		stats: stats,
+		waits: waits,
+	}
+}
+
+func (m *Manager) headOf(id storage.ItemID) *head {
+	h, ok := m.items[id]
+	if !ok {
+		h = &head{id: id, granted: make(map[TxID]*grantEntry)}
+		m.items[id] = h
+	}
+	return h
+}
+
+func (m *Manager) index(tx TxID, id storage.ItemID, g *grantEntry) {
+	set, ok := m.byTx[tx]
+	if !ok {
+		set = make(map[storage.ItemID]*grantEntry)
+		m.byTx[tx] = set
+	}
+	set[id] = g
+}
+
+func (m *Manager) unindex(tx TxID, id storage.ItemID) {
+	if set, ok := m.byTx[tx]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(m.byTx, tx)
+		}
+	}
+}
+
+// Lock acquires item in mode for tx, first taking the necessary intention
+// locks on ancestors (unless opt.SkipAncestors). Re-acquiring a covered
+// mode is a no-op; a stronger request becomes a conversion.
+func (m *Manager) Lock(tx TxID, item storage.ItemID, mode Mode, opt Options) error {
+	if mode == NL {
+		return nil
+	}
+	if !opt.SkipAncestors {
+		intent := IntentionFor(mode)
+		for _, anc := range item.Ancestors() {
+			if err := m.lockOne(tx, anc, intent, opt); err != nil {
+				return err
+			}
+		}
+	}
+	return m.lockOne(tx, item, mode, opt)
+}
+
+func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) error {
+	m.mu.Lock()
+	h := m.headOf(item)
+
+	existing := h.granted[tx]
+	var target Mode
+	convert := false
+	if existing != nil {
+		target = Supremum(existing.mode, mode)
+		if target == existing.mode {
+			m.mu.Unlock()
+			return nil
+		}
+		convert = true
+	} else {
+		target = mode
+	}
+
+	if m.grantableLocked(h, tx, target, convert) {
+		m.installLocked(h, tx, target)
+		m.mu.Unlock()
+		return nil
+	}
+
+	if opt.NoWait {
+		m.mu.Unlock()
+		return ErrWouldBlock
+	}
+
+	req := &request{tx: tx, item: item, mode: target, convert: convert, ready: make(chan error, 1)}
+	if convert {
+		// Conversions queue ahead of fresh requests.
+		i := 0
+		for i < len(h.queue) && h.queue[i].convert {
+			i++
+		}
+		h.queue = append(h.queue, nil)
+		copy(h.queue[i+1:], h.queue[i:])
+		h.queue[i] = req
+	} else {
+		h.queue = append(h.queue, req)
+	}
+
+	if !opt.NoDeadlock {
+		if victim := m.detectLocked(req); victim {
+			m.removeRequestLocked(h, req)
+			m.mu.Unlock()
+			m.stats.Inc(sim.CtrDeadlockAborts)
+			return ErrDeadlock
+		}
+	}
+	m.mu.Unlock()
+
+	m.stats.Inc(sim.CtrLockWaits)
+	start := time.Now()
+	err := m.await(req, opt.Timeout)
+	if m.waits != nil {
+		m.waits.Observe(time.Since(start))
+	}
+	return err
+}
+
+// await blocks on the request outcome, handling timeouts.
+func (m *Manager) await(req *request, timeout time.Duration) error {
+	if timeout <= 0 {
+		return <-req.ready
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case err := <-req.ready:
+		return err
+	case <-timer.C:
+	}
+	// Timed out: remove the request unless it was granted concurrently.
+	m.mu.Lock()
+	if req.granted {
+		m.mu.Unlock()
+		return <-req.ready
+	}
+	h := m.items[req.item]
+	m.removeRequestLocked(h, req)
+	m.processQueueLocked(h)
+	m.mu.Unlock()
+	m.stats.Inc(sim.CtrTimeoutAborts)
+	return ErrTimeout
+}
+
+// grantableLocked reports whether tx may immediately hold item in mode.
+func (m *Manager) grantableLocked(h *head, tx TxID, mode Mode, convert bool) bool {
+	for other, g := range h.granted {
+		if other == tx {
+			continue
+		}
+		if !Compatible(g.mode, mode) {
+			return false
+		}
+	}
+	if convert {
+		return true // conversions only contend with the granted group
+	}
+	// Fairness: a fresh request must not overtake waiting requests.
+	for _, r := range h.queue {
+		if r.tx != tx {
+			return false
+		}
+	}
+	return true
+}
+
+func (m *Manager) installLocked(h *head, tx TxID, mode Mode) {
+	g := h.granted[tx]
+	if g == nil {
+		g = &grantEntry{tx: tx}
+		h.granted[tx] = g
+		m.index(tx, h.id, g)
+	}
+	g.mode = mode
+}
+
+func (m *Manager) removeRequestLocked(h *head, req *request) {
+	if h == nil {
+		return
+	}
+	for i, r := range h.queue {
+		if r == req {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// processQueueLocked grants every request that has become eligible.
+func (m *Manager) processQueueLocked(h *head) {
+	if h == nil {
+		return
+	}
+	blocked := false // a non-conversion earlier in the queue is still waiting
+	i := 0
+	for i < len(h.queue) {
+		r := h.queue[i]
+		ok := false
+		if r.convert {
+			ok = m.grantableLocked(h, r.tx, r.mode, true)
+		} else if !blocked {
+			// Fresh request: compatible with the whole granted group.
+			ok = true
+			for other, g := range h.granted {
+				if other != r.tx && !Compatible(g.mode, r.mode) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			m.installLocked(h, r.tx, r.mode)
+			r.granted = true
+			r.ready <- nil
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			continue
+		}
+		if !r.convert {
+			blocked = true
+		}
+		i++
+	}
+	m.gcHeadLocked(h)
+}
+
+func (m *Manager) gcHeadLocked(h *head) {
+	if len(h.granted) == 0 && len(h.queue) == 0 {
+		delete(m.items, h.id)
+	}
+}
+
+// Unlock fully releases tx's lock on item (if held) and wakes eligible
+// waiters.
+func (m *Manager) Unlock(tx TxID, item storage.ItemID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.items[item]
+	if !ok {
+		return
+	}
+	if _, held := h.granted[tx]; !held {
+		return
+	}
+	delete(h.granted, tx)
+	m.unindex(tx, item)
+	m.processQueueLocked(h)
+}
+
+// Downgrade weakens tx's lock on item to mode. Downgrading to NL releases
+// the lock. It is an error to "downgrade" to a non-covered mode.
+func (m *Manager) Downgrade(tx TxID, item storage.ItemID, to Mode) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.items[item]
+	if !ok {
+		return fmt.Errorf("lock: downgrade of unheld item %v", item)
+	}
+	g, held := h.granted[tx]
+	if !held {
+		return fmt.Errorf("lock: downgrade of unheld item %v by %v", item, tx)
+	}
+	if !Covers(g.mode, to) {
+		return fmt.Errorf("lock: downgrade %v -> %v is not a downgrade", g.mode, to)
+	}
+	if to == NL {
+		delete(h.granted, tx)
+		m.unindex(tx, item)
+	} else {
+		g.mode = to
+	}
+	m.processQueueLocked(h)
+	return nil
+}
+
+// ForceGrant installs a granted entry for tx on item in (at least) mode,
+// bypassing the wait queue. The protocol uses it to replicate, at the
+// server, locks that a transaction already holds at a client; the caller
+// is responsible for first downgrading conflicting locks so that the
+// resulting table state is one a centralized execution could have produced.
+func (m *Manager) ForceGrant(tx TxID, item storage.ItemID, mode Mode) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := m.headOf(item)
+	if g, ok := h.granted[tx]; ok {
+		g.mode = Supremum(g.mode, mode)
+		return
+	}
+	m.installLocked(h, tx, mode)
+}
+
+// ReleaseAll releases every lock held by tx and cancels its waiting
+// requests with ErrCanceled.
+func (m *Manager) ReleaseAll(tx TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	items := make([]storage.ItemID, 0, len(m.byTx[tx]))
+	for id := range m.byTx[tx] {
+		items = append(items, id)
+	}
+	for _, id := range items {
+		h := m.items[id]
+		delete(h.granted, tx)
+		m.unindex(tx, id)
+		m.processQueueLocked(h)
+	}
+	m.cancelWaitsLocked(tx)
+}
+
+// CancelWaits wakes every waiting request of tx with ErrCanceled.
+func (m *Manager) CancelWaits(tx TxID) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.cancelWaitsLocked(tx)
+}
+
+func (m *Manager) cancelWaitsLocked(tx TxID) {
+	for _, h := range m.items {
+		for i := 0; i < len(h.queue); {
+			r := h.queue[i]
+			if r.tx == tx && !r.granted {
+				h.queue = append(h.queue[:i], h.queue[i+1:]...)
+				r.ready <- ErrCanceled
+				continue
+			}
+			i++
+		}
+		m.processQueueLocked(h)
+	}
+}
+
+// HeldMode reports the mode tx holds on item (NL if none).
+func (m *Manager) HeldMode(tx TxID, item storage.ItemID) Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.items[item]; ok {
+		if g, held := h.granted[tx]; held {
+			return g.mode
+		}
+	}
+	return NL
+}
+
+// Holders lists the granted entries on item.
+func (m *Manager) Holders(item storage.ItemID) []Holder {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.items[item]
+	if !ok {
+		return nil
+	}
+	out := make([]Holder, 0, len(h.granted))
+	for _, g := range h.granted {
+		out = append(out, Holder{Tx: g.tx, Mode: g.mode, Adaptive: g.adaptive})
+	}
+	return out
+}
+
+// Conflicting lists transactions other than tx whose granted locks on item
+// are incompatible with mode. The callback machinery sends this list in
+// "callback-blocked" replies.
+func (m *Manager) Conflicting(item storage.ItemID, mode Mode, tx TxID) []TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.items[item]
+	if !ok {
+		return nil
+	}
+	var out []TxID
+	for other, g := range h.granted {
+		if other != tx && !Compatible(g.mode, mode) {
+			out = append(out, other)
+		}
+	}
+	return out
+}
+
+// SetAdaptive sets or clears the adaptive bit inside tx's granted page lock
+// (paper §4.1.2). It is a no-op if tx holds no lock on item.
+func (m *Manager) SetAdaptive(tx TxID, item storage.ItemID, v bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.items[item]; ok {
+		if g, held := h.granted[tx]; held {
+			g.adaptive = v
+		}
+	}
+}
+
+// IsAdaptive reports the adaptive bit of tx's lock on item.
+func (m *Manager) IsAdaptive(tx TxID, item storage.ItemID) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if h, ok := m.items[item]; ok {
+		if g, held := h.granted[tx]; held {
+			return g.adaptive
+		}
+	}
+	return false
+}
+
+// AdaptiveHolders lists transactions holding an adaptive lock on item.
+func (m *Manager) AdaptiveHolders(item storage.ItemID) []TxID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h, ok := m.items[item]
+	if !ok {
+		return nil
+	}
+	var out []TxID
+	for _, g := range h.granted {
+		if g.adaptive {
+			out = append(out, g.tx)
+		}
+	}
+	return out
+}
+
+// HeldItems lists every item tx holds a lock on, with modes. Used when a
+// page is purged while in use (local locks must be replicated at the
+// server) and in tests.
+func (m *Manager) HeldItems(tx TxID) map[storage.ItemID]Mode {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[storage.ItemID]Mode, len(m.byTx[tx]))
+	for id, g := range m.byTx[tx] {
+		out[id] = g.mode
+	}
+	return out
+}
+
+// NumItems reports the number of live lock heads (for tests).
+func (m *Manager) NumItems() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.items)
+}
+
+// Info describes one granted lock in a table scan.
+type Info struct {
+	Tx       TxID
+	Item     storage.ItemID
+	Mode     Mode
+	Adaptive bool
+}
+
+// LocksWithin lists every granted lock on item or its descendants. The
+// protocol uses it to compute unavailable-object masks before shipping a
+// page and to collect the object locks replicated during deescalation and
+// page purges.
+func (m *Manager) LocksWithin(item storage.ItemID) []Info {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []Info
+	for id, h := range m.items {
+		if !item.Contains(id) {
+			continue
+		}
+		for _, g := range h.granted {
+			out = append(out, Info{Tx: g.tx, Item: id, Mode: g.mode, Adaptive: g.adaptive})
+		}
+	}
+	return out
+}

@@ -1,0 +1,598 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+)
+
+var (
+	txA = TxID{Site: "A", Seq: 1}
+	txB = TxID{Site: "B", Seq: 1}
+	txC = TxID{Site: "C", Seq: 1}
+)
+
+func obj(page uint32, slot uint16) storage.ItemID {
+	return storage.ObjectItem(1, 1, page, slot)
+}
+
+func page(p uint32) storage.ItemID { return storage.PageItem(1, 1, p) }
+
+func newTestManager() *Manager { return NewManager(nil, nil) }
+
+func TestLockGrantsAncestorIntents(t *testing.T) {
+	m := newTestManager()
+	o := obj(5, 3)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if got := m.HeldMode(txA, o); got != SH {
+		t.Errorf("object mode = %v, want SH", got)
+	}
+	if got := m.HeldMode(txA, page(5)); got != IS {
+		t.Errorf("page mode = %v, want IS", got)
+	}
+	if got := m.HeldMode(txA, storage.FileItem(1, 1)); got != IS {
+		t.Errorf("file mode = %v, want IS", got)
+	}
+	if got := m.HeldMode(txA, storage.VolumeItem(1)); got != IS {
+		t.Errorf("volume mode = %v, want IS", got)
+	}
+}
+
+func TestExclusiveTakesIXAncestors(t *testing.T) {
+	m := newTestManager()
+	if err := m.Lock(txA, obj(5, 3), EX, Options{}); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if got := m.HeldMode(txA, page(5)); got != IX {
+		t.Errorf("page mode = %v, want IX", got)
+	}
+}
+
+func TestSkipAncestors(t *testing.T) {
+	m := newTestManager()
+	if err := m.Lock(txA, obj(5, 3), EX, Options{SkipAncestors: true}); err != nil {
+		t.Fatalf("Lock: %v", err)
+	}
+	if got := m.HeldMode(txA, page(5)); got != NL {
+		t.Errorf("page mode = %v, want NL", got)
+	}
+}
+
+func TestCompatibleSharersCoexist(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConflictBlocksAndUnlockWakes(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(txB, o, SH, Options{}) }()
+	select {
+	case err := <-done:
+		t.Fatalf("SH granted while EX held: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Unlock(txA, o)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Lock after unlock: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never woke")
+	}
+}
+
+func TestNoWait(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o, SH, Options{NoWait: true}); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("err = %v, want ErrWouldBlock", err)
+	}
+}
+
+func TestReentrantAndUpgrade(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldMode(txA, o); got != EX {
+		t.Errorf("mode = %v, want EX", got)
+	}
+}
+
+func TestUpgradeWaitsForSharers(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(txA, o, EX, Options{}) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted while other sharer exists")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.Unlock(txB, o)
+	if err := <-done; err != nil {
+		t.Fatalf("upgrade after release: %v", err)
+	}
+}
+
+func TestConversionJumpsQueue(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	// B queues a fresh EX request behind A.
+	bDone := make(chan error, 1)
+	go func() { bDone <- m.Lock(txB, o, EX, Options{}) }()
+	time.Sleep(10 * time.Millisecond)
+	// A's upgrade must be granted even though B waits.
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatalf("conversion: %v", err)
+	}
+	m.ReleaseAll(txA)
+	if err := <-bDone; err != nil {
+		t.Fatalf("B after A released: %v", err)
+	}
+}
+
+func TestUpgradeDeadlockDetected(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	aDone := make(chan error, 1)
+	go func() { aDone <- m.Lock(txA, o, EX, Options{}) }()
+	time.Sleep(10 * time.Millisecond)
+	// B's upgrade closes the cycle: B waits for A's SH, A waits for B's SH.
+	err := m.Lock(txB, o, EX, Options{})
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("second upgrader err = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(txB)
+	if err := <-aDone; err != nil {
+		t.Fatalf("first upgrader: %v", err)
+	}
+}
+
+func TestTwoItemDeadlockDetected(t *testing.T) {
+	m := newTestManager()
+	o1, o2 := obj(1, 0), obj(1, 1)
+	if err := m.Lock(txA, o1, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o2, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	aDone := make(chan error, 1)
+	go func() { aDone <- m.Lock(txA, o2, EX, Options{}) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Lock(txB, o1, EX, Options{}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(txB)
+	if err := <-aDone; err != nil {
+		t.Fatalf("survivor: %v", err)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	err := m.Lock(txB, o, EX, Options{Timeout: 30 * time.Millisecond})
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want ErrTimeout", err)
+	}
+	if time.Since(start) < 25*time.Millisecond {
+		t.Error("returned before timeout elapsed")
+	}
+	// The timed-out request must be gone: A can release, nobody is woken,
+	// and a fresh C request succeeds.
+	m.Unlock(txA, o)
+	if err := m.Lock(txC, o, EX, Options{}); err != nil {
+		t.Fatalf("fresh lock after timeout: %v", err)
+	}
+}
+
+func TestCancelWaits(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(txB, o, EX, Options{}) }()
+	time.Sleep(10 * time.Millisecond)
+	m.CancelWaits(txB)
+	if err := <-done; !errors.Is(err, ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled", err)
+	}
+}
+
+func TestDowngradeWakesCompatibleWaiter(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(txB, o, SH, Options{}) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Downgrade(txA, o, SH); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("waiter after downgrade: %v", err)
+	}
+	if got := m.HeldMode(txA, o); got != SH {
+		t.Errorf("A mode = %v, want SH", got)
+	}
+}
+
+func TestDowngradeToNLReleases(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Downgrade(txA, o, NL); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.HeldMode(txA, o); got != NL {
+		t.Errorf("mode = %v, want NL", got)
+	}
+}
+
+func TestDowngradeErrors(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Downgrade(txA, o, SH); err == nil {
+		t.Error("downgrade of unheld item succeeded")
+	}
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Downgrade(txA, o, EX); err == nil {
+		t.Error("upgrade via Downgrade succeeded")
+	}
+}
+
+func TestForceGrantReplicatesConflict(t *testing.T) {
+	// Reproduce the paper's Fig. 4 lock-table dance: A holds EX, downgrades
+	// to SH, force-grants SH to C on behalf of the client conflict, then
+	// upgrades back — and must wait for C.
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{SkipAncestors: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Downgrade(txA, o, SH); err != nil {
+		t.Fatal(err)
+	}
+	m.ForceGrant(txC, o, SH)
+	done := make(chan error, 1)
+	go func() { done <- m.Lock(txA, o, EX, Options{SkipAncestors: true}) }()
+	select {
+	case <-done:
+		t.Fatal("upgrade granted despite replicated SH")
+	case <-time.After(20 * time.Millisecond):
+	}
+	m.ReleaseAll(txC)
+	if err := <-done; err != nil {
+		t.Fatalf("upgrade after C released: %v", err)
+	}
+}
+
+func TestAdaptiveBit(t *testing.T) {
+	m := newTestManager()
+	p := page(1)
+	if err := m.Lock(txA, p, IX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.IsAdaptive(txA, p) {
+		t.Error("adaptive bit set before SetAdaptive")
+	}
+	m.SetAdaptive(txA, p, true)
+	if !m.IsAdaptive(txA, p) {
+		t.Error("adaptive bit not set")
+	}
+	holders := m.AdaptiveHolders(p)
+	if len(holders) != 1 || holders[0] != txA {
+		t.Errorf("AdaptiveHolders = %v, want [A]", holders)
+	}
+	m.SetAdaptive(txA, p, false)
+	if m.IsAdaptive(txA, p) {
+		t.Error("adaptive bit not cleared")
+	}
+}
+
+func TestMultipleAdaptiveHoldersFromSameClient(t *testing.T) {
+	// Paper §4.1.2: multiple transactions from the same client may hold
+	// adaptive locks on a page simultaneously (both hold IX).
+	m := newTestManager()
+	p := page(1)
+	tx2 := TxID{Site: "A", Seq: 2}
+	for _, tx := range []TxID{txA, tx2} {
+		if err := m.Lock(tx, p, IX, Options{}); err != nil {
+			t.Fatal(err)
+		}
+		m.SetAdaptive(tx, p, true)
+	}
+	if got := len(m.AdaptiveHolders(p)); got != 2 {
+		t.Errorf("adaptive holders = %d, want 2", got)
+	}
+}
+
+func TestReleaseAllCleansTable(t *testing.T) {
+	m := newTestManager()
+	for i := uint16(0); i < 10; i++ {
+		if err := m.Lock(txA, obj(1, i), EX, Options{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.ReleaseAll(txA)
+	if n := m.NumItems(); n != 0 {
+		t.Errorf("NumItems = %d after ReleaseAll, want 0", n)
+	}
+	if got := m.HeldItems(txA); len(got) != 0 {
+		t.Errorf("HeldItems = %v, want empty", got)
+	}
+}
+
+func TestConflictingList(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	got := m.Conflicting(o, EX, txC)
+	if len(got) != 2 {
+		t.Fatalf("Conflicting = %v, want both sharers", got)
+	}
+	if got := m.Conflicting(o, EX, txA); len(got) != 1 || got[0] != txB {
+		t.Errorf("Conflicting excluding A = %v, want [B]", got)
+	}
+	if got := m.Conflicting(o, IS, txC); len(got) != 0 {
+		t.Errorf("Conflicting(IS) = %v, want none", got)
+	}
+}
+
+func TestFairnessNoOvertake(t *testing.T) {
+	// A fresh SH must not overtake a queued EX (no starvation).
+	m := newTestManager()
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	bDone := make(chan error, 1)
+	go func() { bDone <- m.Lock(txB, o, EX, Options{}) }()
+	time.Sleep(10 * time.Millisecond)
+	if err := m.Lock(txC, o, SH, Options{NoWait: true}); !errors.Is(err, ErrWouldBlock) {
+		t.Fatalf("fresh SH overtook queued EX: %v", err)
+	}
+	m.ReleaseAll(txA)
+	if err := <-bDone; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentStress(t *testing.T) {
+	// Many goroutines lock/unlock overlapping objects; the test passes if
+	// there are no panics, races, or lost wakeups.
+	m := newTestManager()
+	const workers = 8
+	const iters = 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tx := TxID{Site: "S", Seq: uint64(w + 1)}
+			for i := 0; i < iters; i++ {
+				o := obj(uint32(i%7), uint16(i%3))
+				mode := SH
+				if (i+w)%4 == 0 {
+					mode = EX
+				}
+				err := m.Lock(tx, o, mode, Options{Timeout: 2 * time.Second})
+				if err != nil && !errors.Is(err, ErrDeadlock) && !errors.Is(err, ErrTimeout) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+				m.ReleaseAll(tx)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := m.NumItems(); n != 0 {
+		t.Errorf("NumItems = %d after stress, want 0", n)
+	}
+}
+
+func TestHoldersReportsModes(t *testing.T) {
+	m := newTestManager()
+	p := page(3)
+	if err := m.Lock(txA, p, IX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, p, IS, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	hs := m.Holders(p)
+	if len(hs) != 2 {
+		t.Fatalf("Holders = %v, want 2", hs)
+	}
+	modes := make(map[TxID]Mode)
+	for _, h := range hs {
+		modes[h.Tx] = h.Mode
+	}
+	if modes[txA] != IX || modes[txB] != IS {
+		t.Errorf("modes = %v", modes)
+	}
+}
+
+func TestLocksWithinScan(t *testing.T) {
+	m := newTestManager()
+	if err := m.Lock(txA, obj(1, 0), EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, obj(1, 1), SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txC, obj(2, 0), SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	infos := m.LocksWithin(page(1))
+	byItem := make(map[storage.ItemID][]Info)
+	for _, in := range infos {
+		byItem[in.Item] = append(byItem[in.Item], in)
+	}
+	if len(byItem[obj(1, 0)]) != 1 || byItem[obj(1, 0)][0].Mode != EX {
+		t.Errorf("obj(1,0) infos = %v", byItem[obj(1, 0)])
+	}
+	if len(byItem[obj(1, 1)]) != 1 || byItem[obj(1, 1)][0].Mode != SH {
+		t.Errorf("obj(1,1) infos = %v", byItem[obj(1, 1)])
+	}
+	// The page head itself (intention locks) is included.
+	if len(byItem[page(1)]) != 2 {
+		t.Errorf("page intents = %v", byItem[page(1)])
+	}
+	// Objects of other pages are excluded.
+	if len(byItem[obj(2, 0)]) != 0 {
+		t.Error("scan leaked into another page")
+	}
+}
+
+func TestDetectAllFindsExistingCycle(t *testing.T) {
+	m := newTestManager()
+	o1, o2 := obj(1, 0), obj(1, 1)
+	if err := m.Lock(txA, o1, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o2, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 2)
+	// Suppress at-block detection to create a standing cycle.
+	go func() { done <- m.Lock(txA, o2, EX, Options{NoDeadlock: true, Timeout: 2 * time.Second}) }()
+	time.Sleep(10 * time.Millisecond)
+	go func() { done <- m.Lock(txB, o1, EX, Options{NoDeadlock: true, Timeout: 2 * time.Second}) }()
+	time.Sleep(20 * time.Millisecond)
+
+	victims := m.DetectAll()
+	if len(victims) == 0 {
+		t.Fatal("DetectAll found no cycle")
+	}
+	m.ReleaseAll(victims[0])
+	// One waiter errors (canceled) and the other is granted.
+	errs := []error{<-done, <-done}
+	var granted, failed int
+	for _, err := range errs {
+		if err == nil {
+			granted++
+		} else {
+			failed++
+		}
+	}
+	if granted != 1 || failed != 1 {
+		t.Errorf("granted=%d failed=%d (errs=%v)", granted, failed, errs)
+	}
+	m.ReleaseAll(txA)
+	m.ReleaseAll(txB)
+}
+
+func TestForceGrantUpgradesExisting(t *testing.T) {
+	m := newTestManager()
+	o := obj(1, 0)
+	m.ForceGrant(txA, o, SH)
+	if got := m.HeldMode(txA, o); got != SH {
+		t.Fatalf("mode = %v", got)
+	}
+	m.ForceGrant(txA, o, EX)
+	if got := m.HeldMode(txA, o); got != EX {
+		t.Errorf("mode after re-grant = %v, want EX (supremum)", got)
+	}
+	m.ForceGrant(txA, o, SH)
+	if got := m.HeldMode(txA, o); got != EX {
+		t.Errorf("mode after weaker re-grant = %v, want EX retained", got)
+	}
+}
+
+func TestTimeoutObservedByTracker(t *testing.T) {
+	waits := sim.NewWaitTracker(1.5, time.Millisecond, time.Minute)
+	m := NewManager(nil, waits)
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Lock(txB, o, EX, Options{Timeout: 20 * time.Millisecond})
+	if waits.Count() == 0 {
+		t.Error("blocked wait not observed by tracker")
+	}
+	m.ReleaseAll(txA)
+}
+
+func TestLockStatsCounters(t *testing.T) {
+	stats := sim.NewStats()
+	m := NewManager(stats, nil)
+	o := obj(1, 0)
+	if err := m.Lock(txA, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		m.ReleaseAll(txA)
+	}()
+	if err := m.Lock(txB, o, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if got := stats.Get(sim.CtrLockWaits); got != 1 {
+		t.Errorf("lock waits = %d, want 1", got)
+	}
+	m.ReleaseAll(txB)
+}

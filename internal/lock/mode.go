@@ -1,0 +1,91 @@
+// Package lock implements the multigranularity hierarchical lock manager
+// used both for local locks at a peer server's client side and for global
+// locks at the owner of a volume. It supports the five standard modes of
+// Gray's hierarchy (IS, IX, SH, SIX, EX), implicit intention locks on
+// ancestors, conversions (upgrades), downgrades, grant-on-behalf (used when
+// replicating client-side callback conflicts at the server), the adaptive
+// bit of PS-AA page locks, waits-for-graph deadlock detection, and waiting
+// with timeouts for distributed deadlock resolution.
+package lock
+
+import "fmt"
+
+// Mode is a lock mode.
+type Mode int
+
+// The lock modes, weakest to strongest in supremum order. NL means "no
+// lock" and is only ever a result, never a request.
+const (
+	NL Mode = iota
+	IS
+	IX
+	SH
+	SIX
+	EX
+)
+
+// String renders the mode name.
+func (m Mode) String() string {
+	switch m {
+	case NL:
+		return "NL"
+	case IS:
+		return "IS"
+	case IX:
+		return "IX"
+	case SH:
+		return "SH"
+	case SIX:
+		return "SIX"
+	case EX:
+		return "EX"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// compat[a][b] reports whether a granted lock in mode a is compatible with
+// a request for mode b (Gray's matrix).
+var compat = [6][6]bool{
+	NL:  {NL: true, IS: true, IX: true, SH: true, SIX: true, EX: true},
+	IS:  {NL: true, IS: true, IX: true, SH: true, SIX: true, EX: false},
+	IX:  {NL: true, IS: true, IX: true, SH: false, SIX: false, EX: false},
+	SH:  {NL: true, IS: true, IX: false, SH: true, SIX: false, EX: false},
+	SIX: {NL: true, IS: true, IX: false, SH: false, SIX: false, EX: false},
+	EX:  {NL: true, IS: false, IX: false, SH: false, SIX: false, EX: false},
+}
+
+// Compatible reports whether modes a and b may be held simultaneously by
+// different transactions.
+func Compatible(a, b Mode) bool { return compat[a][b] }
+
+// sup[a][b] is the weakest mode at least as strong as both a and b, used
+// for lock conversions.
+var sup = [6][6]Mode{
+	NL:  {NL: NL, IS: IS, IX: IX, SH: SH, SIX: SIX, EX: EX},
+	IS:  {NL: IS, IS: IS, IX: IX, SH: SH, SIX: SIX, EX: EX},
+	IX:  {NL: IX, IS: IX, IX: IX, SH: SIX, SIX: SIX, EX: EX},
+	SH:  {NL: SH, IS: SH, IX: SIX, SH: SH, SIX: SIX, EX: EX},
+	SIX: {NL: SIX, IS: SIX, IX: SIX, SH: SIX, SIX: SIX, EX: EX},
+	EX:  {NL: EX, IS: EX, IX: EX, SH: EX, SIX: EX, EX: EX},
+}
+
+// Supremum returns the weakest mode covering both a and b.
+func Supremum(a, b Mode) Mode { return sup[a][b] }
+
+// Covers reports whether holding mode a makes a request for mode b
+// redundant.
+func Covers(a, b Mode) bool { return Supremum(a, b) == a }
+
+// IntentionFor returns the intention mode that must be held on every
+// ancestor of an item locked in mode m.
+func IntentionFor(m Mode) Mode {
+	switch m {
+	case IS, SH:
+		return IS
+	case IX, SIX, EX:
+		return IX
+	default:
+		return NL
+	}
+}

@@ -1,0 +1,131 @@
+package lock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompatibilityMatrix(t *testing.T) {
+	tests := []struct {
+		a, b Mode
+		want bool
+	}{
+		{IS, IS, true},
+		{IS, IX, true},
+		{IS, SH, true},
+		{IS, SIX, true},
+		{IS, EX, false},
+		{IX, IX, true},
+		{IX, SH, false},
+		{IX, SIX, false},
+		{IX, EX, false},
+		{SH, SH, true},
+		{SH, SIX, false},
+		{SH, EX, false},
+		{SIX, SIX, false},
+		{SIX, IS, true},
+		{EX, EX, false},
+		{EX, IS, false},
+		{NL, EX, true},
+	}
+	for _, tt := range tests {
+		if got := Compatible(tt.a, tt.b); got != tt.want {
+			t.Errorf("Compatible(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestCompatibilityIsSymmetric(t *testing.T) {
+	modes := []Mode{NL, IS, IX, SH, SIX, EX}
+	for _, a := range modes {
+		for _, b := range modes {
+			if Compatible(a, b) != Compatible(b, a) {
+				t.Errorf("compatibility not symmetric for %v, %v", a, b)
+			}
+		}
+	}
+}
+
+func TestSupremum(t *testing.T) {
+	tests := []struct {
+		a, b, want Mode
+	}{
+		{IS, IX, IX},
+		{SH, IX, SIX},
+		{IX, SH, SIX},
+		{SH, IS, SH},
+		{SIX, SH, SIX},
+		{SIX, IX, SIX},
+		{EX, IS, EX},
+		{NL, SH, SH},
+		{SH, SH, SH},
+	}
+	for _, tt := range tests {
+		if got := Supremum(tt.a, tt.b); got != tt.want {
+			t.Errorf("Supremum(%v, %v) = %v, want %v", tt.a, tt.b, got, tt.want)
+		}
+	}
+}
+
+func TestSupremumProperties(t *testing.T) {
+	modes := []Mode{NL, IS, IX, SH, SIX, EX}
+	for _, a := range modes {
+		for _, b := range modes {
+			s := Supremum(a, b)
+			if Supremum(a, b) != Supremum(b, a) {
+				t.Errorf("supremum not commutative for %v, %v", a, b)
+			}
+			if !Covers(s, a) || !Covers(s, b) {
+				t.Errorf("Supremum(%v,%v)=%v does not cover both", a, b, s)
+			}
+			// The supremum must not be more permissive than its parts: any
+			// mode incompatible with a or b must be incompatible with s.
+			for _, c := range modes {
+				if !Compatible(c, a) && Compatible(c, s) {
+					t.Errorf("sup(%v,%v)=%v compatible with %v but %v is not", a, b, s, c, a)
+				}
+			}
+		}
+	}
+}
+
+func TestSupremumIdempotentAssociative(t *testing.T) {
+	modes := []Mode{NL, IS, IX, SH, SIX, EX}
+	for _, a := range modes {
+		if Supremum(a, a) != a {
+			t.Errorf("Supremum(%v,%v) != %v", a, a, a)
+		}
+		for _, b := range modes {
+			for _, c := range modes {
+				if Supremum(Supremum(a, b), c) != Supremum(a, Supremum(b, c)) {
+					t.Errorf("supremum not associative for %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestIntentionFor(t *testing.T) {
+	tests := []struct {
+		m, want Mode
+	}{
+		{IS, IS}, {SH, IS}, {IX, IX}, {EX, IX}, {SIX, IX}, {NL, NL},
+	}
+	for _, tt := range tests {
+		if got := IntentionFor(tt.m); got != tt.want {
+			t.Errorf("IntentionFor(%v) = %v, want %v", tt.m, got, tt.want)
+		}
+	}
+}
+
+func TestSupremumMonotoneQuick(t *testing.T) {
+	// Property: adding a mode never loses coverage.
+	f := func(ai, bi, ci uint8) bool {
+		modes := []Mode{NL, IS, IX, SH, SIX, EX}
+		a, b, c := modes[int(ai)%6], modes[int(bi)%6], modes[int(ci)%6]
+		return Covers(Supremum(Supremum(a, b), c), a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

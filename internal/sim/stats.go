@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a set of named atomic counters shared by all components of a
+// running system. Counter names are free-form; the canonical ones used by
+// the protocol code are listed as constants below.
+type Stats struct {
+	mu       sync.Mutex
+	counters map[string]*atomic.Int64
+}
+
+// Canonical counter names incremented by the protocol implementation.
+const (
+	CtrMessages        = "messages"          // every message sent
+	CtrPageTransfers   = "page_transfers"    // messages that carried a page
+	CtrReadRequests    = "read_requests"     // client->server object/page reads
+	CtrWriteRequests   = "write_requests"    // client->server write-permission requests
+	CtrCallbacks       = "callbacks"         // callback requests issued
+	CtrCallbackBlocked = "callback_blocked"  // callback-blocked replies
+	CtrCallbackRaces   = "callback_races"    // callback races registered
+	CtrPurgeRaces      = "purge_races"       // purge races detected
+	CtrDeescalations   = "deescalations"     // adaptive lock deescalations
+	CtrAdaptiveGrants  = "adaptive_grants"   // adaptive page locks granted
+	CtrDiskReads       = "disk_reads"        // page reads from disk
+	CtrDiskWrites      = "disk_writes"       // page writes to disk
+	CtrCommits         = "commits"           // transactions committed
+	CtrAborts          = "aborts"            // transactions aborted (any reason)
+	CtrDeadlockAborts  = "deadlock_aborts"   // aborts from local deadlock detection
+	CtrTimeoutAborts   = "timeout_aborts"    // aborts from lock-wait timeouts
+	CtrLockWaits       = "lock_waits"        // lock requests that blocked
+	CtrCallbackRounds  = "callback_rounds"   // extra callback rounds (objective-2 violations)
+	CtrLogRecords      = "log_records"       // log records generated
+	CtrRedoPageReads   = "redo_page_reads"   // redo-at-server disk re-reads
+	CtrObjectReads     = "object_reads"      // application-level object reads
+	CtrObjectWrites    = "object_writes"     // application-level object writes
+	CtrLocalHits       = "local_cache_hits"  // reads satisfied from the local cache
+	CtrEscalationSaved = "escalations_saved" // object writes covered by an adaptive page lock
+)
+
+// NewStats returns an empty counter set.
+func NewStats() *Stats {
+	return &Stats{counters: make(map[string]*atomic.Int64)}
+}
+
+func (s *Stats) counter(name string) *atomic.Int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	c, ok := s.counters[name]
+	if !ok {
+		c = &atomic.Int64{}
+		s.counters[name] = c
+	}
+	return c
+}
+
+// Inc adds one to the named counter.
+func (s *Stats) Inc(name string) { s.Add(name, 1) }
+
+// Add adds delta to the named counter.
+func (s *Stats) Add(name string, delta int64) { s.counter(name).Add(delta) }
+
+// Get reads the named counter.
+func (s *Stats) Get(name string) int64 { return s.counter(name).Load() }
+
+// Snapshot copies all counters into a plain map.
+func (s *Stats) Snapshot() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string]int64, len(s.counters))
+	for k, v := range s.counters {
+		out[k] = v.Load()
+	}
+	return out
+}
+
+// String renders the nonzero counters sorted by name, for reports.
+func (s *Stats) String() string {
+	snap := s.Snapshot()
+	names := make([]string, 0, len(snap))
+	for k, v := range snap {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for i, k := range names {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+	}
+	return b.String()
+}
+
+// WaitTracker records lock-wait durations and derives the adaptive timeout
+// interval of Agrawal/Carey/McVoy as used by the paper: mean conflict wait
+// plus one standard deviation, inflated by a configurable factor (the paper
+// uses 1.5 because single-server deadlocks are detected exactly).
+type WaitTracker struct {
+	mu      sync.Mutex
+	n       int64
+	sum     float64 // seconds
+	sumSq   float64
+	inflate float64
+	floor   time.Duration
+	ceil    time.Duration
+}
+
+// NewWaitTracker returns a tracker with the given inflation factor and
+// clamping bounds for the derived timeout.
+func NewWaitTracker(inflate float64, floor, ceil time.Duration) *WaitTracker {
+	if inflate <= 0 {
+		inflate = 1.5
+	}
+	return &WaitTracker{inflate: inflate, floor: floor, ceil: ceil}
+}
+
+// Observe records one completed lock wait.
+func (w *WaitTracker) Observe(d time.Duration) {
+	secs := d.Seconds()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.n++
+	w.sum += secs
+	w.sumSq += secs * secs
+}
+
+// Timeout derives the current adaptive timeout value. Before any waits have
+// been observed it returns the ceiling, so that cold-start transactions are
+// not spuriously aborted.
+func (w *WaitTracker) Timeout() time.Duration {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.n == 0 {
+		return w.ceil
+	}
+	mean := w.sum / float64(w.n)
+	variance := w.sumSq/float64(w.n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	t := time.Duration((mean + math.Sqrt(variance)) * w.inflate * float64(time.Second))
+	if t < w.floor {
+		t = w.floor
+	}
+	if w.ceil > 0 && t > w.ceil {
+		t = w.ceil
+	}
+	return t
+}
+
+// Count reports the number of waits observed.
+func (w *WaitTracker) Count() int64 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.n
+}

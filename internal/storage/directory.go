@@ -1,0 +1,74 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Directory maps the workload's flat page address space (page numbers
+// 0..DatabaseSize-1) onto (volume, file, page) item IDs across one or more
+// peer-owned volumes. In client-server mode all pages live on one volume;
+// in peer-servers mode the database is partitioned.
+type Directory struct {
+	extents []extent // sorted by First
+	total   uint32
+}
+
+type extent struct {
+	First uint32 // first global page number of this extent
+	Count uint32
+	Vol   VolumeID
+	File  uint32
+	Base  uint32 // page number of First within the file
+}
+
+// NewDirectory builds an empty directory.
+func NewDirectory() *Directory { return &Directory{} }
+
+// AddExtent appends a mapping of count global pages, starting at the
+// current end of the address space, onto file/base of volume vol. It
+// returns the first global page number of the extent.
+func (d *Directory) AddExtent(vol VolumeID, file, base, count uint32) uint32 {
+	first := d.total
+	d.extents = append(d.extents, extent{First: first, Count: count, Vol: vol, File: file, Base: base})
+	d.total += count
+	return first
+}
+
+// Total reports the size of the global page address space.
+func (d *Directory) Total() uint32 { return d.total }
+
+// Lookup translates a global page number into a page ItemID.
+func (d *Directory) Lookup(global uint32) (ItemID, error) {
+	if global >= d.total {
+		return ItemID{}, fmt.Errorf("storage: page %d beyond database size %d", global, d.total)
+	}
+	i := sort.Search(len(d.extents), func(i int) bool {
+		return d.extents[i].First+d.extents[i].Count > global
+	})
+	e := d.extents[i]
+	return PageItem(e.Vol, e.File, e.Base+(global-e.First)), nil
+}
+
+// LookupObject translates a global page number and slot into an object
+// ItemID.
+func (d *Directory) LookupObject(global uint32, slot uint16) (ItemID, error) {
+	pid, err := d.Lookup(global)
+	if err != nil {
+		return ItemID{}, err
+	}
+	return ObjectItem(pid.Vol, pid.File, pid.Page, slot), nil
+}
+
+// OwnerVolumes lists the distinct volumes referenced by the directory.
+func (d *Directory) OwnerVolumes() []VolumeID {
+	seen := make(map[VolumeID]bool)
+	var out []VolumeID
+	for _, e := range d.extents {
+		if !seen[e.Vol] {
+			seen[e.Vol] = true
+			out = append(out, e.Vol)
+		}
+	}
+	return out
+}

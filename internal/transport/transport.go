@@ -1,0 +1,210 @@
+// Package transport provides the in-process message fabric connecting peer
+// servers. It reproduces the communication structure of SHORE described in
+// the paper's §3.2: each pair of peers is connected by several independent
+// paths; message order is preserved along a path, but messages sent on
+// different paths may arrive — and be handled — out of order. This loose
+// ordering is what gives rise to the callback, purge, and deescalation
+// races the consistency algorithm must tolerate.
+package transport
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"adaptivecc/internal/sim"
+)
+
+// Message is one datagram between peers. Payload is an arbitrary
+// protocol-defined value; CarriesPage marks messages that ship a whole page
+// and therefore pay the per-page cost.
+type Message struct {
+	From        string
+	To          string
+	Kind        string
+	CarriesPage bool
+	Payload     any
+}
+
+// Handler receives delivered messages. Each delivery runs in its own
+// goroutine (the receiving "thread"), so handlers may block.
+type Handler func(Message)
+
+// AnyPath requests a randomly chosen path, which is how most protocol
+// traffic travels; a non-negative hint pins the message to one path so
+// that two messages are guaranteed to stay ordered.
+const AnyPath = -1
+
+// Network connects registered endpoints.
+type Network struct {
+	costs     sim.CostTable
+	stats     *sim.Stats
+	numPaths  int
+	rng       *rand.Rand
+	rngMu     sync.Mutex
+	deliverWG sync.WaitGroup
+
+	mu     sync.Mutex
+	nodes  map[string]*node
+	links  map[linkKey][]*path
+	closed bool
+}
+
+type linkKey struct{ from, to string }
+
+type node struct {
+	name    string
+	cpu     *sim.Resource
+	handler Handler
+}
+
+type path struct {
+	ch   chan Message
+	done chan struct{}
+}
+
+// NewNetwork builds a network where every ordered pair of endpoints is
+// connected by numPaths independent FIFO paths (at least 1).
+func NewNetwork(costs sim.CostTable, stats *sim.Stats, numPaths int, seed int64) *Network {
+	if numPaths < 1 {
+		numPaths = 1
+	}
+	if stats == nil {
+		stats = sim.NewStats()
+	}
+	return &Network{
+		costs:    costs,
+		stats:    stats,
+		numPaths: numPaths,
+		rng:      rand.New(rand.NewSource(seed)),
+		nodes:    make(map[string]*node),
+		links:    make(map[linkKey][]*path),
+	}
+}
+
+// Register attaches an endpoint. cpu is the endpoint's CPU resource, which
+// is charged for message sends and receives; handler is invoked (in a fresh
+// goroutine) for every delivered message.
+func (n *Network) Register(name string, cpu *sim.Resource, handler Handler) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.nodes[name]; ok {
+		return fmt.Errorf("transport: endpoint %q already registered", name)
+	}
+	n.nodes[name] = &node{name: name, cpu: cpu, handler: handler}
+	return nil
+}
+
+// NumPaths reports the per-pair path count.
+func (n *Network) NumPaths() int { return n.numPaths }
+
+func (n *Network) pathsFor(from, to string) ([]*path, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, fmt.Errorf("transport: network closed")
+	}
+	if _, ok := n.nodes[from]; !ok {
+		return nil, fmt.Errorf("transport: unknown sender %q", from)
+	}
+	dst, ok := n.nodes[to]
+	if !ok {
+		return nil, fmt.Errorf("transport: unknown destination %q", to)
+	}
+	key := linkKey{from, to}
+	ps, ok := n.links[key]
+	if !ok {
+		ps = make([]*path, n.numPaths)
+		for i := range ps {
+			p := &path{ch: make(chan Message, 1024), done: make(chan struct{})}
+			ps[i] = p
+			go n.pump(p, dst)
+		}
+		n.links[key] = ps
+	}
+	return ps, nil
+}
+
+// pump delivers messages on one path in FIFO order, charging wire latency
+// per message, then hands each message to the receiver in a new goroutine.
+func (n *Network) pump(p *path, dst *node) {
+	defer close(p.done)
+	for msg := range p.ch {
+		if d := n.costs.Scaled(n.costs.MsgLatency); d > 0 {
+			time.Sleep(d)
+		}
+		n.deliverWG.Add(1)
+		go func(m Message) {
+			defer n.deliverWG.Done()
+			cost := n.costs.MsgCPU
+			if m.CarriesPage {
+				cost += n.costs.PerPageExtra
+			}
+			dst.cpu.Use(cost)
+			dst.handler(m)
+		}(msg)
+	}
+}
+
+// Send transmits msg.Payload from msg.From to msg.To over the chosen path
+// (AnyPath picks one at random). It charges the sender's CPU and returns
+// once the message is queued on the path.
+func (n *Network) Send(msg Message, pathHint int) error {
+	ps, err := n.pathsFor(msg.From, msg.To)
+	if err != nil {
+		return err
+	}
+
+	n.stats.Inc(sim.CtrMessages)
+	if msg.CarriesPage {
+		n.stats.Inc(sim.CtrPageTransfers)
+	}
+
+	n.mu.Lock()
+	sender := n.nodes[msg.From]
+	n.mu.Unlock()
+	cost := n.costs.MsgCPU
+	if msg.CarriesPage {
+		cost += n.costs.PerPageExtra
+	}
+	sender.cpu.Use(cost)
+
+	idx := pathHint
+	if idx < 0 || idx >= len(ps) {
+		n.rngMu.Lock()
+		idx = n.rng.Intn(len(ps))
+		n.rngMu.Unlock()
+	}
+	select {
+	case ps[idx].ch <- msg:
+		return nil
+	default:
+		return fmt.Errorf("transport: path %d %s->%s full", idx, msg.From, msg.To)
+	}
+}
+
+// Close shuts the network down: no further sends are accepted, in-flight
+// messages are delivered, and Close returns after every handler goroutine
+// has finished.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.closed = true
+	var all []*path
+	for _, ps := range n.links {
+		all = append(all, ps...)
+	}
+	n.mu.Unlock()
+
+	for _, p := range all {
+		close(p.ch)
+	}
+	for _, p := range all {
+		<-p.done
+	}
+	n.deliverWG.Wait()
+}

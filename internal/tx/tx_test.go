@@ -1,0 +1,79 @@
+package tx
+
+import (
+	"errors"
+	"testing"
+
+	"adaptivecc/internal/lock"
+)
+
+func TestRegistryIssuesUniqueIDs(t *testing.T) {
+	r := NewRegistry("clientA")
+	t1 := r.Begin()
+	t2 := r.Begin()
+	if t1.ID == t2.ID {
+		t.Fatalf("duplicate IDs: %v", t1.ID)
+	}
+	if t1.ID.Site != "clientA" || t1.ID.Seq != 1 || t2.ID.Seq != 2 {
+		t.Errorf("IDs = %v, %v", t1.ID, t2.ID)
+	}
+	if r.Live() != 2 {
+		t.Errorf("Live = %d", r.Live())
+	}
+	got, ok := r.Get(t1.ID)
+	if !ok || got != t1 {
+		t.Error("Get failed")
+	}
+	r.Remove(t1.ID)
+	if _, ok := r.Get(t1.ID); ok {
+		t.Error("removed tx still present")
+	}
+}
+
+func TestLifecycle(t *testing.T) {
+	tr := NewTx(lock.TxID{Site: "A", Seq: 1})
+	if !tr.Active() || tr.State() != Active {
+		t.Fatal("new tx not active")
+	}
+	if err := tr.BeginCommit(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.State() != Committing {
+		t.Errorf("state = %v", tr.State())
+	}
+	if err := tr.BeginCommit(); !errors.Is(err, ErrNotActive) {
+		t.Errorf("double BeginCommit err = %v", err)
+	}
+	if err := tr.Spread("s1"); !errors.Is(err, ErrNotActive) {
+		t.Errorf("Spread while committing err = %v", err)
+	}
+	tr.Finish(Committed)
+	if tr.State() != Committed {
+		t.Errorf("state = %v", tr.State())
+	}
+}
+
+func TestSpreadAndWroteSets(t *testing.T) {
+	tr := NewTx(lock.TxID{Site: "A", Seq: 1})
+	if err := tr.Spread("s2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Spread("s1"); err != nil {
+		t.Fatal(err)
+	}
+	tr.MarkWrote("s3")
+	got := tr.SpreadSet()
+	if len(got) != 3 || got[0] != "s1" || got[1] != "s2" || got[2] != "s3" {
+		t.Errorf("SpreadSet = %v", got)
+	}
+	wrote := tr.WroteSet()
+	if len(wrote) != 1 || wrote[0] != "s3" {
+		t.Errorf("WroteSet = %v", wrote)
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	if Active.String() != "active" || Aborted.String() != "aborted" {
+		t.Error("state strings wrong")
+	}
+}

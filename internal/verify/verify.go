@@ -1,0 +1,208 @@
+// Package verify checks committed transaction histories for conflict
+// serializability. Test drivers tag every committed write with a unique
+// version and record, per transaction, the version of each object read and
+// the version written. The checker rebuilds the direct serialization graph
+// — write-read, write-write, and read-write edges — and reports a cycle if
+// the history is not serializable.
+//
+// This is the strongest whole-system oracle in the repository: it verifies
+// that the cache consistency protocol delivered a serializable execution,
+// not merely that individual invariants held.
+package verify
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Version identifies one committed write of one object: the writing
+// transaction and nothing else (each transaction writes an object at most
+// once in this model; versions are totally ordered per object by commit
+// order, which the checker reconstructs from the read observations).
+type Version struct {
+	Writer string // committed transaction name; "" is the initial version
+}
+
+// Op is one object access by a transaction.
+type Op struct {
+	Object  string
+	Read    Version // version observed (reads and read-modify-writes)
+	DidRead bool
+	Wrote   bool
+}
+
+// TxRecord is one committed transaction's accesses.
+type TxRecord struct {
+	Name string
+	Ops  []Op
+}
+
+// History accumulates committed transactions from concurrent drivers.
+type History struct {
+	mu  sync.Mutex
+	txs []TxRecord
+}
+
+// NewHistory returns an empty history.
+func NewHistory() *History { return &History{} }
+
+// Commit records one committed transaction. Name must be unique.
+func (h *History) Commit(rec TxRecord) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.txs = append(h.txs, rec)
+}
+
+// Len reports the number of committed transactions.
+func (h *History) Len() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.txs)
+}
+
+// CycleError reports a non-serializable history.
+type CycleError struct {
+	Cycle []string // transaction names forming the cycle
+}
+
+func (e *CycleError) Error() string {
+	return fmt.Sprintf("verify: serialization cycle %v", e.Cycle)
+}
+
+// Check verifies conflict serializability. It returns nil for a
+// serializable history, a *CycleError when the serialization graph has a
+// cycle, and a plain error when the history is internally inconsistent
+// (e.g. a read of a version nobody wrote).
+func (h *History) Check() error {
+	h.mu.Lock()
+	txs := make([]TxRecord, len(h.txs))
+	copy(txs, h.txs)
+	h.mu.Unlock()
+
+	type access struct {
+		tx      string
+		readVer Version
+		didRead bool
+		wrote   bool
+	}
+	byObject := make(map[string][]access)
+	byName := make(map[string]bool, len(txs))
+	for _, t := range txs {
+		if byName[t.Name] {
+			return fmt.Errorf("verify: duplicate transaction name %q", t.Name)
+		}
+		byName[t.Name] = true
+		for _, op := range t.Ops {
+			byObject[op.Object] = append(byObject[op.Object], access{
+				tx: t.Name, readVer: op.Read, didRead: op.DidRead, wrote: op.Wrote,
+			})
+		}
+	}
+
+	edges := make(map[string]map[string]bool, len(txs))
+	addEdge := func(from, to string) {
+		if from == to || from == "" || to == "" {
+			return
+		}
+		set, ok := edges[from]
+		if !ok {
+			set = make(map[string]bool)
+			edges[from] = set
+		}
+		set[to] = true
+	}
+
+	for obj, accs := range byObject {
+		// Reconstruct the version order of the object: the write order is
+		// derived from reads — each read-modify-write that observed version
+		// v and wrote produces the successor of v. Build successor links.
+		successor := make(map[Version]string) // version -> writer of next version
+		for _, a := range accs {
+			if !a.wrote {
+				continue
+			}
+			if !a.didRead {
+				return fmt.Errorf("verify: blind write of %s by %s (record reads for writes)", obj, a.tx)
+			}
+			if prev, dup := successor[a.readVer]; dup && prev != a.tx {
+				// Two committed transactions both overwrote the same version:
+				// a lost update, which is itself a ww-ww cycle.
+				return &CycleError{Cycle: []string{prev, a.tx, prev}}
+			}
+			successor[a.readVer] = a.tx
+		}
+		for _, a := range accs {
+			// wr edge: the writer of the version read precedes the reader.
+			if a.didRead {
+				addEdge(a.readVer.Writer, a.tx)
+			}
+			// ww edge: the writer of the version read precedes the
+			// overwriter (chained via successor below), and
+			// rw edge: every reader of version v precedes the writer of
+			// v's successor.
+			if next, ok := successor[a.readVer]; ok && a.didRead {
+				addEdge(a.tx, next) // rw (or ww when a.wrote, same direction)
+			}
+		}
+		// Chain ww order along successors.
+		for ver, next := range successor {
+			addEdge(ver.Writer, next)
+		}
+	}
+
+	// Cycle detection with path recovery.
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	state := make(map[string]int, len(edges))
+	parent := make(map[string]string)
+	var cycle []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		state[n] = grey
+		// Deterministic order for reproducible cycle reports.
+		nbrs := make([]string, 0, len(edges[n]))
+		for m := range edges[n] {
+			nbrs = append(nbrs, m)
+		}
+		sort.Strings(nbrs)
+		for _, m := range nbrs {
+			switch state[m] {
+			case white:
+				parent[m] = n
+				if dfs(m) {
+					return true
+				}
+			case grey:
+				cycle = []string{m}
+				for cur := n; cur != m; cur = parent[cur] {
+					cycle = append(cycle, cur)
+				}
+				cycle = append(cycle, m)
+				// Reverse into forward edge order.
+				for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+					cycle[i], cycle[j] = cycle[j], cycle[i]
+				}
+				return true
+			}
+		}
+		state[n] = black
+		return false
+	}
+	roots := make([]string, 0, len(edges))
+	for n := range edges {
+		roots = append(roots, n)
+	}
+	sort.Strings(roots)
+	for _, n := range roots {
+		if state[n] == white {
+			if dfs(n) {
+				return &CycleError{Cycle: cycle}
+			}
+		}
+	}
+	return nil
+}

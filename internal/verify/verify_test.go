@@ -1,0 +1,139 @@
+package verify
+
+import (
+	"errors"
+	"testing"
+)
+
+func rmw(name, obj, sawWriter string) TxRecord {
+	return TxRecord{Name: name, Ops: []Op{{
+		Object: obj, Read: Version{Writer: sawWriter}, DidRead: true, Wrote: true,
+	}}}
+}
+
+func read(name, obj, sawWriter string) TxRecord {
+	return TxRecord{Name: name, Ops: []Op{{
+		Object: obj, Read: Version{Writer: sawWriter}, DidRead: true,
+	}}}
+}
+
+func TestSerialHistoryPasses(t *testing.T) {
+	h := NewHistory()
+	h.Commit(rmw("t1", "x", ""))
+	h.Commit(rmw("t2", "x", "t1"))
+	h.Commit(read("t3", "x", "t2"))
+	if err := h.Check(); err != nil {
+		t.Fatalf("serial history rejected: %v", err)
+	}
+	if h.Len() != 3 {
+		t.Errorf("Len = %d", h.Len())
+	}
+}
+
+func TestLostUpdateDetected(t *testing.T) {
+	// Both t1 and t2 read the initial version and overwrote it.
+	h := NewHistory()
+	h.Commit(rmw("t1", "x", ""))
+	h.Commit(rmw("t2", "x", ""))
+	var cyc *CycleError
+	if err := h.Check(); !errors.As(err, &cyc) {
+		t.Fatalf("lost update not detected: %v", err)
+	}
+}
+
+func TestWriteSkewDetected(t *testing.T) {
+	// Classic write skew: t1 reads x0,y0 and writes x; t2 reads x0,y0 and
+	// writes y. rw edges both ways -> cycle.
+	h := NewHistory()
+	h.Commit(TxRecord{Name: "t1", Ops: []Op{
+		{Object: "x", Read: Version{}, DidRead: true, Wrote: true},
+		{Object: "y", Read: Version{}, DidRead: true},
+	}})
+	h.Commit(TxRecord{Name: "t2", Ops: []Op{
+		{Object: "x", Read: Version{}, DidRead: true},
+		{Object: "y", Read: Version{}, DidRead: true, Wrote: true},
+	}})
+	var cyc *CycleError
+	if err := h.Check(); !errors.As(err, &cyc) {
+		t.Fatalf("write skew not detected: %v", err)
+	}
+}
+
+func TestDisjointObjectsPass(t *testing.T) {
+	h := NewHistory()
+	h.Commit(rmw("t1", "x", ""))
+	h.Commit(rmw("t2", "y", ""))
+	h.Commit(rmw("t3", "x", "t1"))
+	h.Commit(rmw("t4", "y", "t2"))
+	if err := h.Check(); err != nil {
+		t.Fatalf("disjoint history rejected: %v", err)
+	}
+}
+
+func TestStaleReadDetected(t *testing.T) {
+	// t3 reads the initial version of x after t1 wrote it AND observes
+	// t1's y — t3 must follow t1 (wr on y) and precede it (rw on x).
+	h := NewHistory()
+	h.Commit(TxRecord{Name: "t1", Ops: []Op{
+		{Object: "x", Read: Version{}, DidRead: true, Wrote: true},
+		{Object: "y", Read: Version{}, DidRead: true, Wrote: true},
+	}})
+	h.Commit(TxRecord{Name: "t2", Ops: []Op{
+		{Object: "x", Read: Version{Writer: "t1"}, DidRead: true, Wrote: true},
+	}})
+	h.Commit(TxRecord{Name: "t3", Ops: []Op{
+		{Object: "x", Read: Version{}, DidRead: true}, // stale!
+		{Object: "y", Read: Version{Writer: "t1"}, DidRead: true},
+	}})
+	var cyc *CycleError
+	if err := h.Check(); !errors.As(err, &cyc) {
+		t.Fatalf("stale read not flagged: %v", err)
+	}
+}
+
+func TestReadersDoNotConflict(t *testing.T) {
+	h := NewHistory()
+	h.Commit(read("r1", "x", ""))
+	h.Commit(read("r2", "x", ""))
+	h.Commit(read("r3", "x", ""))
+	if err := h.Check(); err != nil {
+		t.Fatalf("readers rejected: %v", err)
+	}
+}
+
+func TestDuplicateNameRejected(t *testing.T) {
+	h := NewHistory()
+	h.Commit(read("t1", "x", ""))
+	h.Commit(read("t1", "x", ""))
+	if err := h.Check(); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+}
+
+func TestBlindWriteRejected(t *testing.T) {
+	h := NewHistory()
+	h.Commit(TxRecord{Name: "t1", Ops: []Op{{Object: "x", Wrote: true}}})
+	if err := h.Check(); err == nil {
+		t.Fatal("blind write accepted")
+	}
+}
+
+func TestCycleErrorMessage(t *testing.T) {
+	err := &CycleError{Cycle: []string{"a", "b", "a"}}
+	if err.Error() == "" {
+		t.Fatal("empty error")
+	}
+}
+
+func TestLongChainPasses(t *testing.T) {
+	h := NewHistory()
+	prev := ""
+	for i := 0; i < 50; i++ {
+		name := string(rune('A'+i%26)) + string(rune('0'+i/26))
+		h.Commit(rmw(name, "x", prev))
+		prev = name
+	}
+	if err := h.Check(); err != nil {
+		t.Fatalf("long chain rejected: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package wal implements SHORE's redo-at-server update propagation scheme
+// (paper §3.3). Clients never ship dirty objects or pages back to the
+// owner; they generate log records into a local log cache and ship the
+// records at commit time (or earlier, when a dirty page is evicted from
+// the client cache). The owner redoes the logged operations to install the
+// updates, re-reading any non-resident pages from disk, and undoes shipped
+// records using before-images if the transaction later aborts.
+package wal
+
+import (
+	"fmt"
+	"sync"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+)
+
+// Record logs one object update.
+type Record struct {
+	LSN    uint64 // assigned by the stable log on receipt; zero in the cache
+	Tx     lock.TxID
+	Object storage.ItemID // object-level item
+	Before []byte         // before-image, for undo at the server
+	After  []byte         // after-image, for redo
+}
+
+// Cache is the client-side log cache: records accumulate per transaction
+// until shipped or discarded.
+type Cache struct {
+	mu    sync.Mutex
+	byTx  map[lock.TxID][]Record
+	stats *sim.Stats
+}
+
+// NewCache returns an empty log cache.
+func NewCache(stats *sim.Stats) *Cache {
+	if stats == nil {
+		stats = sim.NewStats()
+	}
+	return &Cache{byTx: make(map[lock.TxID][]Record), stats: stats}
+}
+
+// Append records one update.
+func (c *Cache) Append(rec Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.byTx[rec.Tx] = append(c.byTx[rec.Tx], rec)
+	c.stats.Inc(sim.CtrLogRecords)
+}
+
+// Take removes and returns all cached records of tx, in order.
+func (c *Cache) Take(tx lock.TxID) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs := c.byTx[tx]
+	delete(c.byTx, tx)
+	return recs
+}
+
+// TakeForPage removes and returns tx's cached records for objects on page,
+// preserving order. Used when a dirty page is evicted before commit.
+func (c *Cache) TakeForPage(tx lock.TxID, page storage.ItemID) []Record {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var taken, kept []Record
+	for _, r := range c.byTx[tx] {
+		if page.Contains(r.Object) {
+			taken = append(taken, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	if len(kept) == 0 {
+		delete(c.byTx, tx)
+	} else {
+		c.byTx[tx] = kept
+	}
+	return taken
+}
+
+// Discard drops all cached records of tx (on abort).
+func (c *Cache) Discard(tx lock.TxID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.byTx, tx)
+}
+
+// Pending reports the number of unshipped records of tx.
+func (c *Cache) Pending(tx lock.TxID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.byTx[tx])
+}
+
+// StableLog is the owner-side log: an append-only record sequence on its
+// own log disk, plus the per-transaction record lists retained for undo
+// until the transaction's fate is decided.
+type StableLog struct {
+	disk *storage.Disk
+
+	mu      sync.Mutex
+	nextLSN uint64
+	active  map[lock.TxID][]Record // shipped but not yet committed/aborted
+	size    int
+}
+
+// NewStableLog returns an empty stable log writing to disk.
+func NewStableLog(disk *storage.Disk) *StableLog {
+	return &StableLog{disk: disk, nextLSN: 1, active: make(map[lock.TxID][]Record)}
+}
+
+// Append assigns LSNs to records, retains them for possible undo, and
+// charges one log-disk write for the batch (group force).
+func (l *StableLog) Append(recs []Record) []Record {
+	if len(recs) == 0 {
+		return nil
+	}
+	l.mu.Lock()
+	out := make([]Record, len(recs))
+	for i, r := range recs {
+		r.LSN = l.nextLSN
+		l.nextLSN++
+		out[i] = r
+		l.active[r.Tx] = append(l.active[r.Tx], r)
+	}
+	l.size += len(recs)
+	l.mu.Unlock()
+	if l.disk != nil {
+		l.disk.Write()
+	}
+	return out
+}
+
+// Commit releases the undo information of tx and charges the commit-record
+// force.
+func (l *StableLog) Commit(tx lock.TxID) {
+	l.mu.Lock()
+	delete(l.active, tx)
+	l.mu.Unlock()
+	if l.disk != nil {
+		l.disk.Write()
+	}
+}
+
+// Abort removes and returns tx's shipped records in reverse order, ready
+// for undo via their before-images.
+func (l *StableLog) Abort(tx lock.TxID) []Record {
+	l.mu.Lock()
+	recs := l.active[tx]
+	delete(l.active, tx)
+	l.mu.Unlock()
+	out := make([]Record, 0, len(recs))
+	for i := len(recs) - 1; i >= 0; i-- {
+		out = append(out, recs[i])
+	}
+	return out
+}
+
+// ActiveRecords reports how many shipped records of tx await a decision.
+func (l *StableLog) ActiveRecords(tx lock.TxID) int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.active[tx])
+}
+
+// Size reports the total number of records ever appended.
+func (l *StableLog) Size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.size
+}
+
+// NextLSN reports the LSN that the next appended record will receive.
+func (l *StableLog) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// String summarizes the log for diagnostics.
+func (l *StableLog) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return fmt.Sprintf("stablelog{records=%d, activeTxs=%d}", l.size, len(l.active))
+}

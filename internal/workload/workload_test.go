@@ -1,0 +1,242 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func baseParams() Params {
+	return Params{
+		TransSize:       10,
+		PageLocalityMin: 1,
+		PageLocalityMax: 4,
+		HotLo:           0,
+		HotHi:           20,
+		ColdLo:          0,
+		ColdHi:          100,
+		HotAccProb:      0.8,
+		HotWrtProb:      0.5,
+		ColdWrtProb:     0.1,
+		ObjectsPerPage:  20,
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Params)
+	}{
+		{"zero trans size", func(p *Params) { p.TransSize = 0 }},
+		{"zero locality", func(p *Params) { p.PageLocalityMin = 0 }},
+		{"inverted locality", func(p *Params) { p.PageLocalityMin = 5; p.PageLocalityMax = 2 }},
+		{"locality exceeds page", func(p *Params) { p.PageLocalityMax = 50 }},
+		{"empty hot range", func(p *Params) { p.HotHi = p.HotLo }},
+		{"empty cold range", func(p *Params) { p.ColdHi = p.ColdLo }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			p := baseParams()
+			tt.mutate(&p)
+			if _, err := NewGenerator(p, 1); err == nil {
+				t.Error("invalid params accepted")
+			}
+		})
+	}
+}
+
+func TestTransactionShape(t *testing.T) {
+	g, err := NewGenerator(baseParams(), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		tr := g.Next()
+		pages := make(map[uint32]map[uint16]bool)
+		for _, r := range tr.Refs {
+			if r.Page >= 100 {
+				t.Fatalf("page %d out of range", r.Page)
+			}
+			if int(r.Slot) >= 20 {
+				t.Fatalf("slot %d out of range", r.Slot)
+			}
+			if pages[r.Page] == nil {
+				pages[r.Page] = make(map[uint16]bool)
+			}
+			if pages[r.Page][r.Slot] {
+				t.Fatalf("duplicate object reference %d.%d", r.Page, r.Slot)
+			}
+			pages[r.Page][r.Slot] = true
+		}
+		if len(pages) != 10 {
+			t.Errorf("transaction touched %d pages, want 10", len(pages))
+		}
+		for page, slots := range pages {
+			if len(slots) < 1 || len(slots) > 4 {
+				t.Errorf("page %d accessed %d objects, want 1..4", page, len(slots))
+			}
+		}
+	}
+}
+
+func TestHotSkew(t *testing.T) {
+	g, err := NewGenerator(baseParams(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, total := 0, 0
+	for i := 0; i < 200; i++ {
+		for _, r := range g.Next().Refs {
+			total++
+			if r.Page < 20 {
+				hot++
+			}
+		}
+	}
+	frac := float64(hot) / float64(total)
+	if frac < 0.7 || frac > 0.9 {
+		t.Errorf("hot fraction = %.2f, want ~0.8", frac)
+	}
+}
+
+func TestWriteProbabilities(t *testing.T) {
+	p := baseParams()
+	p.HotWrtProb = 1
+	p.ColdWrtProb = 0
+	g, err := NewGenerator(p, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		for _, r := range g.Next().Refs {
+			isHot := r.Page < 20
+			if isHot && !r.Write {
+				t.Fatal("hot access not a write with HotWrtProb=1")
+			}
+			if !isHot && r.Write {
+				t.Fatal("cold access is a write with ColdWrtProb=0")
+			}
+		}
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	g1, _ := NewGenerator(baseParams(), 99)
+	g2, _ := NewGenerator(baseParams(), 99)
+	for i := 0; i < 10; i++ {
+		a, b := g1.Next(), g2.Next()
+		if len(a.Refs) != len(b.Refs) {
+			t.Fatal("same seed diverged in length")
+		}
+		for j := range a.Refs {
+			if a.Refs[j] != b.Refs[j] {
+				t.Fatal("same seed diverged in refs")
+			}
+		}
+	}
+}
+
+func TestSpecHotCold(t *testing.T) {
+	for n := 0; n < 10; n++ {
+		p, err := Spec(HotCold, n, 10, 11250, false, 0.2, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.TransSize != 90 || p.PageLocalityMin != 1 || p.PageLocalityMax != 7 {
+			t.Errorf("app %d: size/locality = %d/%d-%d", n, p.TransSize, p.PageLocalityMin, p.PageLocalityMax)
+		}
+		if p.HotHi-p.HotLo != 450 {
+			t.Errorf("app %d: hot range size %d, want 450 (paper)", n, p.HotHi-p.HotLo)
+		}
+		if p.HotLo != uint32(n)*450 {
+			t.Errorf("app %d: hot range starts at %d", n, p.HotLo)
+		}
+		if p.HotAccProb != 0.8 {
+			t.Errorf("HotAccProb = %v", p.HotAccProb)
+		}
+	}
+}
+
+func TestSpecHighLocality(t *testing.T) {
+	p, err := Spec(HotCold, 0, 10, 11250, true, 0.2, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.TransSize != 30 || p.PageLocalityMin != 8 || p.PageLocalityMax != 16 {
+		t.Errorf("high locality spec = %+v", p)
+	}
+}
+
+func TestSpecUniform(t *testing.T) {
+	p, err := Spec(Uniform, 3, 10, 11250, false, 0.1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.HotAccProb != 0 {
+		t.Errorf("UNIFORM has hot accesses: %+v", p)
+	}
+	if p.ColdLo != 0 || p.ColdHi != 11250 {
+		t.Errorf("UNIFORM range = [%d,%d)", p.ColdLo, p.ColdHi)
+	}
+}
+
+func TestSpecHiConSharedSkew(t *testing.T) {
+	p0, _ := Spec(HiCon, 0, 10, 11250, false, 0.1, 20)
+	p9, _ := Spec(HiCon, 9, 10, 11250, false, 0.1, 20)
+	if p0.HotLo != p9.HotLo || p0.HotHi != p9.HotHi {
+		t.Error("HICON hot ranges differ between applications")
+	}
+	if p0.HotHi != 2250 {
+		t.Errorf("HICON hot range = %d, want 2250 (paper)", p0.HotHi)
+	}
+}
+
+func TestSpecPrivateDisjoint(t *testing.T) {
+	var prevHi uint32
+	for n := 0; n < 10; n++ {
+		p, err := Spec(Private, n, 10, 11250, false, 0.1, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.HotLo < prevHi {
+			t.Errorf("app %d range overlaps previous", n)
+		}
+		prevHi = p.HotHi
+		if p.ColdLo != p.HotLo || p.ColdHi != p.HotHi {
+			t.Errorf("PRIVATE app %d accesses outside its slice", n)
+		}
+	}
+}
+
+func TestSpecLocalityClamped(t *testing.T) {
+	// With 4-object pages, the 8-16 locality must clamp.
+	p, err := Spec(HotCold, 0, 10, 100, true, 0.1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.PageLocalityMax != 4 || p.PageLocalityMin != 4 {
+		t.Errorf("clamped locality = %d-%d", p.PageLocalityMin, p.PageLocalityMax)
+	}
+	if _, err := NewGenerator(p, 1); err != nil {
+		t.Fatalf("clamped spec rejected: %v", err)
+	}
+}
+
+func TestRefsWithinBoundsQuick(t *testing.T) {
+	f := func(seed int64) bool {
+		g, err := NewGenerator(baseParams(), seed)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 3; i++ {
+			for _, r := range g.Next().Refs {
+				if r.Page >= 100 || int(r.Slot) >= 20 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
