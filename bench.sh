@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# bench.sh — run the lock-manager micro-benchmarks plus a figure smoke
+# benchmark and emit the results as machine-readable JSON (BENCH_1.json by
+# default, or the path given as $1).
+#
+# Each entry carries the benchmark name, iteration count, and every metric
+# the benchmark reported (ns/op plus custom metrics such as "tps:PS:w=0.02").
+set -euo pipefail
+cd "$(dirname "$0")"
+
+out=${1:-BENCH_1.json}
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+{
+  go test -run '^$' -benchtime=1s \
+    -bench 'BenchmarkUncontendedGrantRelease|BenchmarkMixedParallel|BenchmarkLocksWithinTable|BenchmarkConflictingOnHotPage' \
+    ./internal/lock/
+  go test -run '^$' -bench 'BenchmarkFig06' -benchtime=1x .
+} | tee "$tmp"
+
+awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '
+BEGIN { n = 0 }
+/^Benchmark/ && NF >= 4 {
+  line = ""
+  for (i = 3; i + 1 <= NF; i += 2) {
+    unit = $(i + 1)
+    gsub(/\\/, "\\\\", unit); gsub(/"/, "\\\"", unit)
+    line = line sprintf(", \"%s\": %s", unit, $i)
+  }
+  entries[n++] = sprintf("    {\"name\": \"%s\", \"iterations\": %s%s}", $1, $2, line)
+}
+END {
+  printf "{\n  \"date\": \"%s\",\n  \"commit\": \"%s\",\n  \"benchmarks\": [\n", date, commit
+  for (i = 0; i < n; i++) printf "%s%s\n", entries[i], (i + 1 < n ? "," : "")
+  print "  ]\n}"
+}
+' "$tmp" > "$out"
+echo "wrote $out"

@@ -53,6 +53,12 @@ type Peer struct {
 	finished     map[lock.TxID]bool
 	finishedRing []lock.TxID
 	finishedIdx  int
+
+	// lastErr retains the most recent asynchronous storage failure (e.g. a
+	// dirty-page write-back that could not reach its volume). The harness
+	// checks it after every run: a simulation whose writes silently vanish
+	// would otherwise report healthy-looking throughput.
+	lastErr error
 }
 
 // finishedRingSize bounds the tombstone set.
@@ -113,6 +119,24 @@ func (p *Peer) ClientPool() *buffer.Pool { return p.pool }
 
 // ServerPool exposes the server-role buffer pool (tests and diagnostics).
 func (p *Peer) ServerPool() *buffer.Pool { return p.srvPool }
+
+// noteError records an asynchronous failure for LastError.
+func (p *Peer) noteError(err error) {
+	if err == nil {
+		return
+	}
+	p.mu.Lock()
+	p.lastErr = err
+	p.mu.Unlock()
+}
+
+// LastError reports the most recent asynchronous failure observed by this
+// peer (nil if none).
+func (p *Peer) LastError() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.lastErr
+}
 
 // owns reports whether this peer owns the item's volume.
 func (p *Peer) owns(item storage.ItemID) bool {

@@ -260,15 +260,18 @@ func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string) error {
 // other than `client` holds an object-level lock under pageID. An adaptive
 // page lock must not be granted in that case.
 func (p *Peer) foreignObjectLocks(pageID storage.ItemID, client string, self lock.TxID) bool {
-	for _, info := range p.locks.LocksWithin(pageID) {
+	foreign := false
+	p.locks.ForEachLockWithin(pageID, func(info lock.Info) bool {
 		if info.Item.Level != storage.LevelObject {
-			continue
-		}
-		if info.Tx != self && info.Tx.Site != client {
 			return true
 		}
-	}
-	return false
+		if info.Tx != self && info.Tx.Site != client {
+			foreign = true
+			return false
+		}
+		return true
+	})
+	return foreign
 }
 
 // availMaskFor computes the unavailable-object mask of §4.2.3: before
@@ -278,14 +281,15 @@ func (p *Peer) foreignObjectLocks(pageID storage.ItemID, client string, self loc
 // such a transaction is pending.
 func (p *Peer) availMaskFor(pageID, reqObj storage.ItemID, client string, numObjects int) storage.AvailMask {
 	mask := storage.AllAvailable(numObjects)
-	for _, info := range p.locks.LocksWithin(pageID) {
+	p.locks.ForEachLockWithin(pageID, func(info lock.Info) bool {
 		if info.Item.Level != storage.LevelObject || info.Item == reqObj {
-			continue
+			return true
 		}
 		if info.Mode == lock.EX && info.Tx.Site != client {
 			mask = mask.Without(info.Item.Slot)
 		}
-	}
+		return true
+	})
 	for obj, t := range p.pendingCBSnapshot() {
 		if pageID.Contains(obj) && obj != reqObj && t.Site != client {
 			mask = mask.Without(obj.Slot)
@@ -330,14 +334,22 @@ func (p *Peer) srvObjectBytes(obj storage.ItemID) ([]byte, error) {
 }
 
 // writeBackEvictions flushes dirty pages evicted from the server buffer to
-// their volumes.
+// their volumes. Failures are counted and retained for the harness's
+// end-of-run health check rather than silently dropped.
 func (p *Peer) writeBackEvictions(evs []buffer.Eviction) {
 	for _, ev := range evs {
 		if ev.Dirty == 0 {
 			continue
 		}
-		if vol, ok := p.volumes[ev.ID.Vol]; ok {
-			_ = vol.WritePage(ev.Page)
+		vol, ok := p.volumes[ev.ID.Vol]
+		if !ok {
+			p.stats.Inc(sim.CtrWriteBackErrors)
+			p.noteError(fmt.Errorf("core: %s evicted dirty page %v of unowned volume", p.name, ev.ID))
+			continue
+		}
+		if err := vol.WritePage(ev.Page); err != nil {
+			p.stats.Inc(sim.CtrWriteBackErrors)
+			p.noteError(fmt.Errorf("core: %s write-back of %v: %w", p.name, ev.ID, err))
 		}
 	}
 }

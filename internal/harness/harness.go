@@ -301,6 +301,15 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 		a.stop()
 	}
 
+	// Health check: a peer that hit an asynchronous storage failure (e.g. a
+	// failed dirty-page write-back) produced a run whose numbers cannot be
+	// trusted.
+	for _, p := range c.sys.Peers() {
+		if err := p.LastError(); err != nil {
+			return Result{}, fmt.Errorf("harness: peer %s failed during run: %w", p.Name(), err)
+		}
+	}
+
 	deltas := make(map[string]int64, len(after))
 	for k, v := range after {
 		deltas[k] = v - before[k]

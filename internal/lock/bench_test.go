@@ -1,0 +1,153 @@
+// Micro-benchmarks for the lock manager hot paths the protocol leans on:
+// uncontended grant/release (every local object access), mixed read-write
+// traffic from many goroutines (the server side under load), and
+// LocksWithin on a large standing table (availMaskFor / foreignObjectLocks
+// run it per remote read and write). The benchmarks use only the public
+// Manager API so the same file measures any implementation.
+package lock_test
+
+import (
+	"errors"
+	"math/rand"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/storage"
+)
+
+func benchObj(page uint32, slot uint16) storage.ItemID {
+	return storage.ObjectItem(1, 1, page, slot)
+}
+
+func benchPage(page uint32) storage.ItemID {
+	return storage.PageItem(1, 1, page)
+}
+
+// populateResident installs one long-lived transaction per page, holding SH
+// locks on slotsPerPage objects of that page. It models the standing lock
+// population of a busy server (many active transactions with cached reads).
+func populateResident(b *testing.B, m *lock.Manager, pages uint32, slotsPerPage uint16) {
+	b.Helper()
+	for pg := uint32(0); pg < pages; pg++ {
+		tx := lock.TxID{Site: "resident", Seq: uint64(pg) + 1}
+		for s := uint16(0); s < slotsPerPage; s++ {
+			// SkipAncestors keeps setup linear: the point is table size, not
+			// the contention on shared file/volume heads during setup.
+			if err := m.Lock(tx, benchObj(pg, s), lock.SH, lock.Options{SkipAncestors: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkUncontendedGrantRelease is the fast path: one transaction locks
+// an object EX (taking the three ancestor intents) and releases everything.
+func BenchmarkUncontendedGrantRelease(b *testing.B) {
+	m := lock.NewManager(nil, nil)
+	tx := lock.TxID{Site: "bench", Seq: 1}
+	o := benchObj(7, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.Lock(tx, o, lock.EX, lock.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		m.ReleaseAll(tx)
+	}
+}
+
+// benchmarkMixed runs `workers` goroutines over a shared page range doing
+// 75% SH / 25% EX object locks with immediate release, and a LocksWithin
+// page scan every fourth operation (the availMaskFor pattern), on top of a
+// 10 000-lock resident table.
+func benchmarkMixed(b *testing.B, workers int) {
+	const (
+		residentPages = 2000
+		residentSlots = 5
+		hotPageBase   = 1 << 20 // disjoint from the resident range
+		hotPages      = 512
+		hotSlots      = 16
+	)
+	m := lock.NewManager(nil, nil)
+	populateResident(b, m, residentPages, residentSlots)
+
+	var seq atomic.Uint64
+	b.SetParallelism(workers) // workers × GOMAXPROCS goroutines
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		tx := lock.TxID{Site: "w", Seq: seq.Add(1)}
+		rng := rand.New(rand.NewSource(int64(tx.Seq) * 7919))
+		i := 0
+		for pb.Next() {
+			i++
+			if i%4 == 0 {
+				pg := uint32(rng.Intn(residentPages))
+				if got := m.LocksWithin(benchPage(pg)); len(got) < residentSlots {
+					b.Errorf("LocksWithin(%d) = %d locks, want >= %d", pg, len(got), residentSlots)
+					return
+				}
+				continue
+			}
+			o := benchObj(hotPageBase+uint32(rng.Intn(hotPages)), uint16(rng.Intn(hotSlots)))
+			mode := lock.SH
+			if rng.Intn(4) == 0 {
+				mode = lock.EX
+			}
+			err := m.Lock(tx, o, mode, lock.Options{Timeout: 5 * time.Second})
+			if err != nil && !errors.Is(err, lock.ErrDeadlock) && !errors.Is(err, lock.ErrTimeout) {
+				b.Errorf("lock: %v", err)
+				return
+			}
+			m.ReleaseAll(tx)
+		}
+	})
+}
+
+func BenchmarkMixedParallel8(b *testing.B)  { benchmarkMixed(b, 8) }
+func BenchmarkMixedParallel64(b *testing.B) { benchmarkMixed(b, 64) }
+
+// BenchmarkLocksWithinTable100k measures the page-scope scan against a
+// 100 000-lock table (5 000 pages × 20 objects): the cost must track the
+// locks under the queried page, not the table size.
+func BenchmarkLocksWithinTable100k(b *testing.B) {
+	const pages, slots = 5000, 20
+	m := lock.NewManager(nil, nil)
+	populateResident(b, m, pages, slots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := uint32(i % pages)
+		if got := m.LocksWithin(benchPage(pg)); len(got) != slots {
+			b.Fatalf("LocksWithin(%d) = %d locks, want %d", pg, len(got), slots)
+		}
+	}
+}
+
+// BenchmarkLocksWithinTable2k is the same scan against a 2 000-lock table;
+// comparing it with the 100k variant exposes any O(table) scaling.
+func BenchmarkLocksWithinTable2k(b *testing.B) {
+	const pages, slots = 100, 20
+	m := lock.NewManager(nil, nil)
+	populateResident(b, m, pages, slots)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := uint32(i % pages)
+		if got := m.LocksWithin(benchPage(pg)); len(got) != slots {
+			b.Fatalf("LocksWithin(%d) = %d locks, want %d", pg, len(got), slots)
+		}
+	}
+}
+
+// BenchmarkConflictingOnHotPage measures the Conflicting list used by
+// callback-blocked replies while a resident table is standing.
+func BenchmarkConflictingOnHotPage(b *testing.B) {
+	m := lock.NewManager(nil, nil)
+	populateResident(b, m, 200, 10)
+	o := benchObj(3, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if got := m.Conflicting(o, lock.EX, lock.TxID{Site: "x", Seq: 1}); len(got) != 1 {
+			b.Fatalf("Conflicting = %v", got)
+		}
+	}
+}

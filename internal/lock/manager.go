@@ -59,11 +59,26 @@ type Holder struct {
 	Adaptive bool
 }
 
-// Manager is a lock table shared by all transactions at one site.
+// Manager is a lock table shared by all transactions at one site. The
+// table is striped into shards (see shard.go); each shard serializes its
+// own items, and deadlock detection expands the waits-for graph lazily
+// from the blocked request (see deadlock.go) so that no operation ever
+// holds more than one shard mutex at a time.
 type Manager struct {
-	mu    sync.Mutex
-	items map[storage.ItemID]*head
-	byTx  map[TxID]map[storage.ItemID]*grantEntry
+	shards [numShards]shard
+
+	// wmu guards the registry of blocked requests by transaction, which the
+	// scoped deadlock walk and CancelWaits use to find a transaction's
+	// outstanding waits without scanning the table. Lock ordering: a shard
+	// mutex may be held when taking wmu, never the reverse.
+	wmu     sync.Mutex
+	waiting map[TxID]map[*request]struct{}
+
+	// tmu guards the transaction→shards presence mask used by ReleaseAll
+	// and HeldItems to visit only shards actually holding grants. Leaf
+	// mutex: taken under a shard mutex, never holds anything else.
+	tmu      sync.Mutex
+	txShards map[TxID]uint64
 
 	stats *sim.Stats
 	waits *sim.WaitTracker
@@ -87,7 +102,11 @@ type request struct {
 	mode    Mode // full target mode (supremum for conversions)
 	convert bool
 	ready   chan error // buffered(1); receives nil on grant
-	granted bool       // set under mu when satisfied
+	// granted and done are written under the item's shard mutex. done marks
+	// the request finally settled (granted or canceled): exactly one party
+	// completes it.
+	granted bool
+	done    bool
 }
 
 // NewManager returns an empty lock table. stats and waits may be nil.
@@ -95,39 +114,16 @@ func NewManager(stats *sim.Stats, waits *sim.WaitTracker) *Manager {
 	if stats == nil {
 		stats = sim.NewStats()
 	}
-	return &Manager{
-		items: make(map[storage.ItemID]*head),
-		byTx:  make(map[TxID]map[storage.ItemID]*grantEntry),
-		stats: stats,
-		waits: waits,
+	m := &Manager{
+		waiting:  make(map[TxID]map[*request]struct{}),
+		txShards: make(map[TxID]uint64),
+		stats:    stats,
+		waits:    waits,
 	}
-}
-
-func (m *Manager) headOf(id storage.ItemID) *head {
-	h, ok := m.items[id]
-	if !ok {
-		h = &head{id: id, granted: make(map[TxID]*grantEntry)}
-		m.items[id] = h
+	for i := range m.shards {
+		m.shards[i].init(uint(i))
 	}
-	return h
-}
-
-func (m *Manager) index(tx TxID, id storage.ItemID, g *grantEntry) {
-	set, ok := m.byTx[tx]
-	if !ok {
-		set = make(map[storage.ItemID]*grantEntry)
-		m.byTx[tx] = set
-	}
-	set[id] = g
-}
-
-func (m *Manager) unindex(tx TxID, id storage.ItemID) {
-	if set, ok := m.byTx[tx]; ok {
-		delete(set, id)
-		if len(set) == 0 {
-			delete(m.byTx, tx)
-		}
-	}
+	return m
 }
 
 // Lock acquires item in mode for tx, first taking the necessary intention
@@ -149,8 +145,9 @@ func (m *Manager) Lock(tx TxID, item storage.ItemID, mode Mode, opt Options) err
 }
 
 func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) error {
-	m.mu.Lock()
-	h := m.headOf(item)
+	s := m.shardOf(item)
+	s.mu.Lock()
+	h := s.headOfLocked(item)
 
 	existing := h.granted[tx]
 	var target Mode
@@ -158,7 +155,7 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 	if existing != nil {
 		target = Supremum(existing.mode, mode)
 		if target == existing.mode {
-			m.mu.Unlock()
+			s.mu.Unlock()
 			return nil
 		}
 		convert = true
@@ -166,14 +163,15 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 		target = mode
 	}
 
-	if m.grantableLocked(h, tx, target, convert) {
-		m.installLocked(h, tx, target)
-		m.mu.Unlock()
+	if grantableLocked(h, tx, target, convert) {
+		m.installLocked(s, h, tx, target)
+		s.mu.Unlock()
 		return nil
 	}
 
 	if opt.NoWait {
-		m.mu.Unlock()
+		s.gcHeadLocked(h)
+		s.mu.Unlock()
 		return ErrWouldBlock
 	}
 
@@ -190,16 +188,23 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 	} else {
 		h.queue = append(h.queue, req)
 	}
+	m.addWaiter(req)
+	s.mu.Unlock()
 
-	if !opt.NoDeadlock {
-		if victim := m.detectLocked(req); victim {
-			m.removeRequestLocked(h, req)
-			m.mu.Unlock()
+	if !opt.NoDeadlock && m.wouldDeadlock(req) {
+		s.mu.Lock()
+		if !req.done {
+			req.done = true
+			removeRequestLocked(h, req)
+			m.removeWaiter(req)
+			m.processQueueLocked(s, h)
+			s.mu.Unlock()
 			m.stats.Inc(sim.CtrDeadlockAborts)
 			return ErrDeadlock
 		}
+		// Granted or canceled while the walk ran: take that outcome below.
+		s.mu.Unlock()
 	}
-	m.mu.Unlock()
 
 	m.stats.Inc(sim.CtrLockWaits)
 	start := time.Now()
@@ -222,22 +227,33 @@ func (m *Manager) await(req *request, timeout time.Duration) error {
 		return err
 	case <-timer.C:
 	}
-	// Timed out: remove the request unless it was granted concurrently.
-	m.mu.Lock()
-	if req.granted {
-		m.mu.Unlock()
-		return <-req.ready
+	// Timed out: remove the request unless it was settled concurrently.
+	s := m.shardOf(req.item)
+	s.mu.Lock()
+	if req.done {
+		s.mu.Unlock()
+		if req.granted {
+			return <-req.ready
+		}
+		// Canceled concurrently; the timeout still wins the return value,
+		// matching the pre-shard behavior.
+		<-req.ready
+		m.stats.Inc(sim.CtrTimeoutAborts)
+		return ErrTimeout
 	}
-	h := m.items[req.item]
-	m.removeRequestLocked(h, req)
-	m.processQueueLocked(h)
-	m.mu.Unlock()
+	req.done = true
+	h := s.items[req.item]
+	removeRequestLocked(h, req)
+	m.removeWaiter(req)
+	m.processQueueLocked(s, h)
+	s.mu.Unlock()
 	m.stats.Inc(sim.CtrTimeoutAborts)
 	return ErrTimeout
 }
 
 // grantableLocked reports whether tx may immediately hold item in mode.
-func (m *Manager) grantableLocked(h *head, tx TxID, mode Mode, convert bool) bool {
+// Caller holds the item's shard mutex.
+func grantableLocked(h *head, tx TxID, mode Mode, convert bool) bool {
 	for other, g := range h.granted {
 		if other == tx {
 			continue
@@ -258,17 +274,17 @@ func (m *Manager) grantableLocked(h *head, tx TxID, mode Mode, convert bool) boo
 	return true
 }
 
-func (m *Manager) installLocked(h *head, tx TxID, mode Mode) {
+func (m *Manager) installLocked(s *shard, h *head, tx TxID, mode Mode) {
 	g := h.granted[tx]
 	if g == nil {
 		g = &grantEntry{tx: tx}
 		h.granted[tx] = g
-		m.index(tx, h.id, g)
+		m.indexLocked(s, tx, h.id, g)
 	}
 	g.mode = mode
 }
 
-func (m *Manager) removeRequestLocked(h *head, req *request) {
+func removeRequestLocked(h *head, req *request) {
 	if h == nil {
 		return
 	}
@@ -280,8 +296,9 @@ func (m *Manager) removeRequestLocked(h *head, req *request) {
 	}
 }
 
-// processQueueLocked grants every request that has become eligible.
-func (m *Manager) processQueueLocked(h *head) {
+// processQueueLocked grants every request that has become eligible. Caller
+// holds s.mu; h may be nil.
+func (m *Manager) processQueueLocked(s *shard, h *head) {
 	if h == nil {
 		return
 	}
@@ -291,7 +308,7 @@ func (m *Manager) processQueueLocked(h *head) {
 		r := h.queue[i]
 		ok := false
 		if r.convert {
-			ok = m.grantableLocked(h, r.tx, r.mode, true)
+			ok = grantableLocked(h, r.tx, r.mode, true)
 		} else if !blocked {
 			// Fresh request: compatible with the whole granted group.
 			ok = true
@@ -303,8 +320,10 @@ func (m *Manager) processQueueLocked(h *head) {
 			}
 		}
 		if ok {
-			m.installLocked(h, r.tx, r.mode)
+			m.installLocked(s, h, r.tx, r.mode)
 			r.granted = true
+			r.done = true
+			m.removeWaiter(r)
 			r.ready <- nil
 			h.queue = append(h.queue[:i], h.queue[i+1:]...)
 			continue
@@ -314,21 +333,16 @@ func (m *Manager) processQueueLocked(h *head) {
 		}
 		i++
 	}
-	m.gcHeadLocked(h)
-}
-
-func (m *Manager) gcHeadLocked(h *head) {
-	if len(h.granted) == 0 && len(h.queue) == 0 {
-		delete(m.items, h.id)
-	}
+	s.gcHeadLocked(h)
 }
 
 // Unlock fully releases tx's lock on item (if held) and wakes eligible
 // waiters.
 func (m *Manager) Unlock(tx TxID, item storage.ItemID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.items[item]
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.items[item]
 	if !ok {
 		return
 	}
@@ -336,16 +350,17 @@ func (m *Manager) Unlock(tx TxID, item storage.ItemID) {
 		return
 	}
 	delete(h.granted, tx)
-	m.unindex(tx, item)
-	m.processQueueLocked(h)
+	m.unindexLocked(s, tx, item)
+	m.processQueueLocked(s, h)
 }
 
 // Downgrade weakens tx's lock on item to mode. Downgrading to NL releases
 // the lock. It is an error to "downgrade" to a non-covered mode.
 func (m *Manager) Downgrade(tx TxID, item storage.ItemID, to Mode) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.items[item]
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.items[item]
 	if !ok {
 		return fmt.Errorf("lock: downgrade of unheld item %v", item)
 	}
@@ -358,11 +373,11 @@ func (m *Manager) Downgrade(tx TxID, item storage.ItemID, to Mode) error {
 	}
 	if to == NL {
 		delete(h.granted, tx)
-		m.unindex(tx, item)
+		m.unindexLocked(s, tx, item)
 	} else {
 		g.mode = to
 	}
-	m.processQueueLocked(h)
+	m.processQueueLocked(s, h)
 	return nil
 }
 
@@ -372,61 +387,70 @@ func (m *Manager) Downgrade(tx TxID, item storage.ItemID, to Mode) error {
 // is responsible for first downgrading conflicting locks so that the
 // resulting table state is one a centralized execution could have produced.
 func (m *Manager) ForceGrant(tx TxID, item storage.ItemID, mode Mode) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h := m.headOf(item)
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := s.headOfLocked(item)
 	if g, ok := h.granted[tx]; ok {
 		g.mode = Supremum(g.mode, mode)
 		return
 	}
-	m.installLocked(h, tx, mode)
+	m.installLocked(s, h, tx, mode)
 }
 
 // ReleaseAll releases every lock held by tx and cancels its waiting
-// requests with ErrCanceled.
+// requests with ErrCanceled. Only shards where tx actually holds grants
+// are visited.
 func (m *Manager) ReleaseAll(tx TxID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	items := make([]storage.ItemID, 0, len(m.byTx[tx]))
-	for id := range m.byTx[tx] {
-		items = append(items, id)
+	mask := m.txShardMask(tx)
+	for i := uint(0); mask != 0; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		mask &^= 1 << i
+		s := &m.shards[i]
+		s.mu.Lock()
+		set := s.byTx[tx]
+		items := make([]storage.ItemID, 0, len(set))
+		for id := range set {
+			items = append(items, id)
+		}
+		for _, id := range items {
+			h := s.items[id]
+			delete(h.granted, tx)
+			m.unindexLocked(s, tx, id)
+			m.processQueueLocked(s, h)
+		}
+		s.mu.Unlock()
 	}
-	for _, id := range items {
-		h := m.items[id]
-		delete(h.granted, tx)
-		m.unindex(tx, id)
-		m.processQueueLocked(h)
-	}
-	m.cancelWaitsLocked(tx)
+	m.CancelWaits(tx)
 }
 
 // CancelWaits wakes every waiting request of tx with ErrCanceled.
 func (m *Manager) CancelWaits(tx TxID) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.cancelWaitsLocked(tx)
-}
-
-func (m *Manager) cancelWaitsLocked(tx TxID) {
-	for _, h := range m.items {
-		for i := 0; i < len(h.queue); {
-			r := h.queue[i]
-			if r.tx == tx && !r.granted {
-				h.queue = append(h.queue[:i], h.queue[i+1:]...)
-				r.ready <- ErrCanceled
-				continue
-			}
-			i++
+	for _, req := range m.waitersOf(tx) {
+		s := m.shardOf(req.item)
+		s.mu.Lock()
+		if req.done {
+			s.mu.Unlock()
+			continue
 		}
-		m.processQueueLocked(h)
+		req.done = true
+		h := s.items[req.item]
+		removeRequestLocked(h, req)
+		m.removeWaiter(req)
+		req.ready <- ErrCanceled
+		m.processQueueLocked(s, h)
+		s.mu.Unlock()
 	}
 }
 
 // HeldMode reports the mode tx holds on item (NL if none).
 func (m *Manager) HeldMode(tx TxID, item storage.ItemID) Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if h, ok := m.items[item]; ok {
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.items[item]; ok {
 		if g, held := h.granted[tx]; held {
 			return g.mode
 		}
@@ -436,9 +460,10 @@ func (m *Manager) HeldMode(tx TxID, item storage.ItemID) Mode {
 
 // Holders lists the granted entries on item.
 func (m *Manager) Holders(item storage.ItemID) []Holder {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.items[item]
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.items[item]
 	if !ok {
 		return nil
 	}
@@ -453,9 +478,10 @@ func (m *Manager) Holders(item storage.ItemID) []Holder {
 // are incompatible with mode. The callback machinery sends this list in
 // "callback-blocked" replies.
 func (m *Manager) Conflicting(item storage.ItemID, mode Mode, tx TxID) []TxID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.items[item]
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.items[item]
 	if !ok {
 		return nil
 	}
@@ -471,9 +497,10 @@ func (m *Manager) Conflicting(item storage.ItemID, mode Mode, tx TxID) []TxID {
 // SetAdaptive sets or clears the adaptive bit inside tx's granted page lock
 // (paper §4.1.2). It is a no-op if tx holds no lock on item.
 func (m *Manager) SetAdaptive(tx TxID, item storage.ItemID, v bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if h, ok := m.items[item]; ok {
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.items[item]; ok {
 		if g, held := h.granted[tx]; held {
 			g.adaptive = v
 		}
@@ -482,9 +509,10 @@ func (m *Manager) SetAdaptive(tx TxID, item storage.ItemID, v bool) {
 
 // IsAdaptive reports the adaptive bit of tx's lock on item.
 func (m *Manager) IsAdaptive(tx TxID, item storage.ItemID) bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if h, ok := m.items[item]; ok {
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if h, ok := s.items[item]; ok {
 		if g, held := h.granted[tx]; held {
 			return g.adaptive
 		}
@@ -494,9 +522,10 @@ func (m *Manager) IsAdaptive(tx TxID, item storage.ItemID) bool {
 
 // AdaptiveHolders lists transactions holding an adaptive lock on item.
 func (m *Manager) AdaptiveHolders(item storage.ItemID) []TxID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h, ok := m.items[item]
+	s := m.shardOf(item)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h, ok := s.items[item]
 	if !ok {
 		return nil
 	}
@@ -513,45 +542,31 @@ func (m *Manager) AdaptiveHolders(item storage.ItemID) []TxID {
 // page is purged while in use (local locks must be replicated at the
 // server) and in tests.
 func (m *Manager) HeldItems(tx TxID) map[storage.ItemID]Mode {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	out := make(map[storage.ItemID]Mode, len(m.byTx[tx]))
-	for id, g := range m.byTx[tx] {
-		out[id] = g.mode
+	out := make(map[storage.ItemID]Mode)
+	mask := m.txShardMask(tx)
+	for i := uint(0); mask != 0; i++ {
+		if mask&(1<<i) == 0 {
+			continue
+		}
+		mask &^= 1 << i
+		s := &m.shards[i]
+		s.mu.Lock()
+		for id, g := range s.byTx[tx] {
+			out[id] = g.mode
+		}
+		s.mu.Unlock()
 	}
 	return out
 }
 
 // NumItems reports the number of live lock heads (for tests).
 func (m *Manager) NumItems() int {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.items)
-}
-
-// Info describes one granted lock in a table scan.
-type Info struct {
-	Tx       TxID
-	Item     storage.ItemID
-	Mode     Mode
-	Adaptive bool
-}
-
-// LocksWithin lists every granted lock on item or its descendants. The
-// protocol uses it to compute unavailable-object masks before shipping a
-// page and to collect the object locks replicated during deescalation and
-// page purges.
-func (m *Manager) LocksWithin(item storage.ItemID) []Info {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var out []Info
-	for id, h := range m.items {
-		if !item.Contains(id) {
-			continue
-		}
-		for _, g := range h.granted {
-			out = append(out, Info{Tx: g.tx, Item: id, Mode: g.mode, Adaptive: g.adaptive})
-		}
+	n := 0
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		n += len(s.items)
+		s.mu.Unlock()
 	}
-	return out
+	return n
 }

@@ -1,0 +1,115 @@
+package lock
+
+import (
+	"adaptivecc/internal/storage"
+)
+
+// Info describes one granted lock in a table scan.
+type Info struct {
+	Tx       TxID
+	Item     storage.ItemID
+	Mode     Mode
+	Adaptive bool
+}
+
+// emitHeadLocked feeds every granted entry of h to fn; it reports whether
+// iteration should continue. Caller holds the head's shard mutex.
+func emitHeadLocked(h *head, fn func(Info) bool) bool {
+	if h == nil {
+		return true
+	}
+	for _, g := range h.granted {
+		if !fn(Info{Tx: g.tx, Item: h.id, Mode: g.mode, Adaptive: g.adaptive}) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEachLockWithin calls fn for every granted lock on item or its
+// descendants, without allocating. Page scope — the protocol's hot case
+// (availability masks before every page ship, deescalation collection) —
+// locks a single shard and walks that shard's descendant index, so the
+// cost tracks the locks actually under the page, not the table size.
+//
+// fn runs with a shard mutex held: it must be fast, must not block, and
+// must not call back into the Manager. Returning false stops the scan.
+// Locks granted or released concurrently with the scan may or may not be
+// observed (same as any snapshot taken by a separate Manager call).
+func (m *Manager) ForEachLockWithin(item storage.ItemID, fn func(Info) bool) {
+	switch item.Level {
+	case storage.LevelObject:
+		s := m.shardOf(item)
+		s.mu.Lock()
+		emitHeadLocked(s.items[item], fn)
+		s.mu.Unlock()
+
+	case storage.LevelPage:
+		// The page head and all of its object heads live in one shard.
+		s := m.shardOf(item)
+		s.mu.Lock()
+		if emitHeadLocked(s.items[item], fn) {
+			for _, h := range s.desc[item] {
+				if !emitHeadLocked(h, fn) {
+					break
+				}
+			}
+		}
+		s.mu.Unlock()
+
+	case storage.LevelFile:
+		// Page and object heads of the file are spread across shards; each
+		// shard's descendant index lists exactly its own.
+		for i := range m.shards {
+			s := &m.shards[i]
+			s.mu.Lock()
+			cont := emitHeadLocked(s.items[item], fn)
+			if cont {
+				for _, h := range s.desc[item] {
+					if !emitHeadLocked(h, fn) {
+						cont = false
+						break
+					}
+				}
+			}
+			s.mu.Unlock()
+			if !cont {
+				return
+			}
+		}
+
+	default: // volume scope: rare, full filtered scan
+		for i := range m.shards {
+			s := &m.shards[i]
+			s.mu.Lock()
+			cont := true
+			for id, h := range s.items {
+				if !item.Contains(id) {
+					continue
+				}
+				if !emitHeadLocked(h, fn) {
+					cont = false
+					break
+				}
+			}
+			s.mu.Unlock()
+			if !cont {
+				return
+			}
+		}
+	}
+}
+
+// LocksWithin lists every granted lock on item or its descendants. The
+// protocol uses it to compute unavailable-object masks before shipping a
+// page and to collect the object locks replicated during deescalation and
+// page purges. Callers that only iterate should prefer ForEachLockWithin,
+// which does not allocate the slice.
+func (m *Manager) LocksWithin(item storage.ItemID) []Info {
+	var out []Info
+	m.ForEachLockWithin(item, func(in Info) bool {
+		out = append(out, in)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,197 @@
+package lock
+
+import (
+	"sync"
+
+	"adaptivecc/internal/storage"
+)
+
+// The lock table is striped into numShards independently-locked shards so
+// that concurrent protocol actions on unrelated items never serialize on a
+// single mutex. Items are assigned to shards by a hash of their hierarchy
+// prefix with one deliberate twist: a page and all of its objects hash to
+// the same shard (the page prefix), so the hot page-scope queries
+// (LocksWithin, availability masks, deescalation collection) lock exactly
+// one shard and use that shard's descendant index instead of scanning the
+// whole table.
+const numShards = 64
+
+// shard is one stripe of the lock table.
+type shard struct {
+	mu    sync.Mutex
+	idx   uint // position in Manager.shards, for the tx→shards mask
+	items map[storage.ItemID]*head
+	// byTx indexes this shard's granted entries by transaction, so release
+	// paths touch only the items actually held here.
+	byTx map[TxID]map[storage.ItemID]*grantEntry
+	// desc indexes live heads under their page and file ancestors:
+	// desc[page] holds the object heads of that page (all colocated in this
+	// shard), desc[file] holds the page and object heads of that file that
+	// hash to this shard. File- and volume-level heads are not indexed.
+	desc map[storage.ItemID]map[storage.ItemID]*head
+
+	// Free lists: heads and emptied index maps are recycled instead of
+	// reallocated, since the grant/release fast path creates and destroys a
+	// handful of them per transaction step.
+	headPool []*head
+	setPool  []map[storage.ItemID]*grantEntry
+	descPool []map[storage.ItemID]*head
+}
+
+// poolCap bounds each per-shard free list.
+const poolCap = 128
+
+func (s *shard) init(idx uint) {
+	s.idx = idx
+	s.items = make(map[storage.ItemID]*head)
+	s.byTx = make(map[TxID]map[storage.ItemID]*grantEntry)
+	s.desc = make(map[storage.ItemID]map[storage.ItemID]*head)
+}
+
+// shardOf maps an item to its shard. Objects use their page's prefix so
+// page-scope scans stay within one shard; files and volumes hash their own
+// prefix.
+func (m *Manager) shardOf(id storage.ItemID) *shard {
+	var h uint64
+	switch id.Level {
+	case storage.LevelVolume:
+		h = uint64(id.Vol)
+	case storage.LevelFile:
+		h = uint64(id.Vol)<<32 | uint64(id.File)
+	default:
+		h = uint64(id.Vol)<<52 ^ uint64(id.File)<<26 ^ uint64(id.Page)
+	}
+	h *= 0x9E3779B97F4A7C15 // Fibonacci hashing; shard index from the top bits
+	return &m.shards[h>>58]
+}
+
+// headOfLocked returns (creating if needed) the head for id, maintaining
+// the descendant index. Caller holds s.mu.
+func (s *shard) headOfLocked(id storage.ItemID) *head {
+	h, ok := s.items[id]
+	if !ok {
+		if n := len(s.headPool); n > 0 {
+			h = s.headPool[n-1]
+			s.headPool = s.headPool[:n-1]
+			h.id = id
+		} else {
+			h = &head{granted: make(map[TxID]*grantEntry)}
+			h.id = id
+		}
+		s.items[id] = h
+		switch id.Level {
+		case storage.LevelObject:
+			s.addDescLocked(storage.PageItem(id.Vol, id.File, id.Page), h)
+			s.addDescLocked(storage.FileItem(id.Vol, id.File), h)
+		case storage.LevelPage:
+			s.addDescLocked(storage.FileItem(id.Vol, id.File), h)
+		}
+	}
+	return h
+}
+
+func (s *shard) addDescLocked(anc storage.ItemID, h *head) {
+	set, ok := s.desc[anc]
+	if !ok {
+		if n := len(s.descPool); n > 0 {
+			set = s.descPool[n-1]
+			s.descPool = s.descPool[:n-1]
+		} else {
+			set = make(map[storage.ItemID]*head)
+		}
+		s.desc[anc] = set
+	}
+	set[h.id] = h
+}
+
+func (s *shard) dropDescLocked(anc, id storage.ItemID) {
+	if set, ok := s.desc[anc]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(s.desc, anc)
+			if len(s.descPool) < poolCap {
+				s.descPool = append(s.descPool, set)
+			}
+		}
+	}
+}
+
+// gcHeadLocked removes an empty head and its index entries. Caller holds
+// s.mu.
+func (s *shard) gcHeadLocked(h *head) {
+	if len(h.granted) != 0 || len(h.queue) != 0 {
+		return
+	}
+	delete(s.items, h.id)
+	switch h.id.Level {
+	case storage.LevelObject:
+		s.dropDescLocked(storage.PageItem(h.id.Vol, h.id.File, h.id.Page), h.id)
+		s.dropDescLocked(storage.FileItem(h.id.Vol, h.id.File), h.id)
+	case storage.LevelPage:
+		s.dropDescLocked(storage.FileItem(h.id.Vol, h.id.File), h.id)
+	}
+	if len(s.headPool) < poolCap {
+		h.queue = h.queue[:0]
+		s.headPool = append(s.headPool, h)
+	}
+}
+
+// indexLocked records a granted entry in the shard's per-transaction index
+// and notes the shard in the manager's transaction→shards mask on the first
+// entry. Caller holds s.mu.
+func (m *Manager) indexLocked(s *shard, tx TxID, id storage.ItemID, g *grantEntry) {
+	set, ok := s.byTx[tx]
+	if !ok {
+		if n := len(s.setPool); n > 0 {
+			set = s.setPool[n-1]
+			s.setPool = s.setPool[:n-1]
+		} else {
+			set = make(map[storage.ItemID]*grantEntry)
+		}
+		s.byTx[tx] = set
+		m.noteTxShard(tx, s)
+	}
+	set[id] = g
+}
+
+// unindexLocked removes a granted entry from the per-transaction index,
+// clearing the shard bit when the transaction's last entry here goes away.
+// Caller holds s.mu.
+func (m *Manager) unindexLocked(s *shard, tx TxID, id storage.ItemID) {
+	if set, ok := s.byTx[tx]; ok {
+		delete(set, id)
+		if len(set) == 0 {
+			delete(s.byTx, tx)
+			if len(s.setPool) < poolCap {
+				s.setPool = append(s.setPool, set)
+			}
+			m.dropTxShard(tx, s)
+		}
+	}
+}
+
+func (m *Manager) noteTxShard(tx TxID, s *shard) {
+	bit := uint64(1) << s.idx
+	m.tmu.Lock()
+	m.txShards[tx] |= bit
+	m.tmu.Unlock()
+}
+
+func (m *Manager) dropTxShard(tx TxID, s *shard) {
+	bit := uint64(1) << s.idx
+	m.tmu.Lock()
+	if rem := m.txShards[tx] &^ bit; rem == 0 {
+		delete(m.txShards, tx)
+	} else {
+		m.txShards[tx] = rem
+	}
+	m.tmu.Unlock()
+}
+
+// txShardMask snapshots the set of shards where tx currently holds grants.
+func (m *Manager) txShardMask(tx TxID) uint64 {
+	m.tmu.Lock()
+	mask := m.txShards[tx]
+	m.tmu.Unlock()
+	return mask
+}

@@ -1,0 +1,194 @@
+package lock
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestShardBoundaryStress hammers a single shard boundary under -race:
+// worker transactions lock overlapping sibling objects of one page (all of
+// which colocate in that page's shard) while scanners run LocksWithin and
+// Holders over the same page and every transaction ends with ReleaseAll.
+// The test asserts no lock leaks and that scans only ever report items under
+// the scanned page.
+func TestShardBoundaryStress(t *testing.T) {
+	m := newTestManager()
+	const (
+		pg      = uint32(42)
+		workers = 8
+		slots   = 16
+	)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tx := TxID{Site: "stress", Seq: uint64(w)*1_000_000 + uint64(i) + 1}
+				for s := 0; s < 4; s++ {
+					mode := SH
+					if (i+s)%5 == 0 {
+						mode = EX
+					}
+					o := obj(pg, uint16((w*4+s)%slots))
+					err := m.Lock(tx, o, mode, Options{Timeout: time.Second})
+					if err != nil && !errors.Is(err, ErrTimeout) && !errors.Is(err, ErrDeadlock) {
+						t.Errorf("worker %d: Lock(%v): %v", w, o, err)
+						return
+					}
+				}
+				m.ReleaseAll(tx)
+			}
+		}(w)
+	}
+
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for _, in := range m.LocksWithin(page(pg)) {
+					if !page(pg).Contains(in.Item) && in.Item != page(pg) {
+						t.Errorf("LocksWithin(page %d) reported %v", pg, in.Item)
+						return
+					}
+				}
+				m.Holders(page(pg))
+				m.Conflicting(obj(pg, 0), EX, TxID{Site: "scan", Seq: 1})
+			}
+		}()
+	}
+
+	time.Sleep(300 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := m.NumItems(); n != 0 {
+		t.Errorf("lock table holds %d items after all transactions released", n)
+	}
+}
+
+// crossShardPages returns two page numbers whose items land in different
+// shards, so tests exercise the cross-shard waits-for walk for real.
+func crossShardPages(t *testing.T, m *Manager) (uint32, uint32) {
+	t.Helper()
+	for p2 := uint32(1); p2 < 1000; p2++ {
+		if m.shardOf(obj(0, 0)) != m.shardOf(obj(p2, 0)) {
+			return 0, p2
+		}
+	}
+	t.Fatal("could not find pages in different shards")
+	return 0, 0
+}
+
+// TestCrossShardDeadlockDetected builds the classic two-item cycle with the
+// two items deliberately placed in different shards: the scoped waits-for
+// walk has to chase the edge across shard boundaries to close the cycle.
+func TestCrossShardDeadlockDetected(t *testing.T) {
+	m := newTestManager()
+	p1, p2 := crossShardPages(t, m)
+	o1, o2 := obj(p1, 1), obj(p2, 1)
+
+	if err := m.Lock(txA, o1, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(txB, o2, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	aBlocked := make(chan error, 1)
+	go func() { aBlocked <- m.Lock(txA, o2, EX, Options{}) }()
+	waitForWaiter(t, m, txA)
+
+	// B's request on o1 closes the cycle; B is the victim.
+	if err := m.Lock(txB, o1, EX, Options{}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Lock = %v, want ErrDeadlock", err)
+	}
+	m.ReleaseAll(txB)
+	if err := <-aBlocked; err != nil {
+		t.Fatalf("A's blocked request after victim release: %v", err)
+	}
+	m.ReleaseAll(txA)
+}
+
+// TestFig4ReplicatedConflictCycle reproduces the distributed deadlock of the
+// paper's Fig. 4 (§4.2.1) as it appears at one server after lock
+// replication: transaction A's object lock was downgraded to SH and
+// replicated for remote C via ForceGrant (the callback-blocked path), A then
+// waits to upgrade back to EX behind C, and C's next request waits on A —
+// a cycle the scoped detector must still find with the two items in
+// different shards.
+func TestFig4ReplicatedConflictCycle(t *testing.T) {
+	m := newTestManager()
+	p1, p2 := crossShardPages(t, m)
+	o1, o2 := obj(p1, 1), obj(p2, 1)
+
+	// A wrote o1, the conflict was replicated: A downgraded to SH, C force-
+	// granted SH on the same object (paper's replicate-and-downgrade step).
+	if err := m.Lock(txA, o1, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Downgrade(txA, o1, SH); err != nil {
+		t.Fatal(err)
+	}
+	m.ForceGrant(txC, o1, SH)
+
+	// A also holds EX on o2 (another page, another shard).
+	if err := m.Lock(txA, o2, EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// A asks to upgrade o1 back to EX: blocks behind C's replicated SH.
+	aBlocked := make(chan error, 1)
+	go func() { aBlocked <- m.Lock(txA, o1, EX, Options{}) }()
+	waitForWaiter(t, m, txA)
+
+	// C now requests EX on o2, held by A: the waits-for cycle A→C→A closes
+	// and C, whose request closed it, is the victim.
+	if err := m.Lock(txC, o2, EX, Options{SkipAncestors: true}); !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("Lock = %v, want ErrDeadlock", err)
+	}
+
+	// Aborting the victim lets A's upgrade through.
+	m.ReleaseAll(txC)
+	if err := <-aBlocked; err != nil {
+		t.Fatalf("A's upgrade after victim abort: %v", err)
+	}
+	if got := m.HeldMode(txA, o1); got != EX {
+		t.Errorf("A's mode on o1 = %v, want EX", got)
+	}
+	m.ReleaseAll(txA)
+	if n := m.NumItems(); n != 0 {
+		t.Errorf("lock table holds %d items at end", n)
+	}
+}
+
+// waitForWaiter spins until tx has a registered blocked request.
+func waitForWaiter(t *testing.T, m *Manager, tx TxID) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		m.wmu.Lock()
+		n := len(m.waiting[tx])
+		m.wmu.Unlock()
+		if n > 0 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("transaction never blocked")
+}

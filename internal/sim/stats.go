@@ -44,6 +44,8 @@ const (
 	CtrObjectWrites    = "object_writes"     // application-level object writes
 	CtrLocalHits       = "local_cache_hits"  // reads satisfied from the local cache
 	CtrEscalationSaved = "escalations_saved" // object writes covered by an adaptive page lock
+	CtrNetDrops        = "net_drops"         // messages dropped because the network was closed
+	CtrWriteBackErrors = "writeback_errors"  // dirty-page write-backs that failed
 )
 
 // NewStats returns an empty counter set.

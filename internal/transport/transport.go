@@ -8,6 +8,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -15,6 +16,12 @@ import (
 
 	"adaptivecc/internal/sim"
 )
+
+// ErrClosed is returned by Send once the network has been shut down. These
+// are the only sends that are dropped (and counted as CtrNetDrops): a send
+// onto a full path blocks until the path drains, preserving FIFO order,
+// instead of failing.
+var ErrClosed = errors.New("transport: network closed")
 
 // Message is one datagram between peers. Payload is an arbitrary
 // protocol-defined value; CarriesPage marks messages that ship a whole page
@@ -44,6 +51,7 @@ type Network struct {
 	rng       *rand.Rand
 	rngMu     sync.Mutex
 	deliverWG sync.WaitGroup
+	stopCh    chan struct{} // closed by Close; unblocks senders and pumps
 
 	mu     sync.Mutex
 	nodes  map[string]*node
@@ -64,6 +72,10 @@ type path struct {
 	done chan struct{}
 }
 
+// pathBufSize is the per-path buffer; beyond it, senders block (variable so
+// tests can shrink it to exercise backpressure deterministically).
+var pathBufSize = 1024
+
 // NewNetwork builds a network where every ordered pair of endpoints is
 // connected by numPaths independent FIFO paths (at least 1).
 func NewNetwork(costs sim.CostTable, stats *sim.Stats, numPaths int, seed int64) *Network {
@@ -80,6 +92,7 @@ func NewNetwork(costs sim.CostTable, stats *sim.Stats, numPaths int, seed int64)
 		rng:      rand.New(rand.NewSource(seed)),
 		nodes:    make(map[string]*node),
 		links:    make(map[linkKey][]*path),
+		stopCh:   make(chan struct{}),
 	}
 }
 
@@ -103,7 +116,7 @@ func (n *Network) pathsFor(from, to string) ([]*path, error) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if n.closed {
-		return nil, fmt.Errorf("transport: network closed")
+		return nil, ErrClosed
 	}
 	if _, ok := n.nodes[from]; !ok {
 		return nil, fmt.Errorf("transport: unknown sender %q", from)
@@ -117,7 +130,7 @@ func (n *Network) pathsFor(from, to string) ([]*path, error) {
 	if !ok {
 		ps = make([]*path, n.numPaths)
 		for i := range ps {
-			p := &path{ch: make(chan Message, 1024), done: make(chan struct{})}
+			p := &path{ch: make(chan Message, pathBufSize), done: make(chan struct{})}
 			ps[i] = p
 			go n.pump(p, dst)
 		}
@@ -128,9 +141,11 @@ func (n *Network) pathsFor(from, to string) ([]*path, error) {
 
 // pump delivers messages on one path in FIFO order, charging wire latency
 // per message, then hands each message to the receiver in a new goroutine.
+// On shutdown it first drains messages already queued on the path — those
+// were accepted by Send and are delivered, not dropped.
 func (n *Network) pump(p *path, dst *node) {
 	defer close(p.done)
-	for msg := range p.ch {
+	deliver := func(msg Message) {
 		if d := n.costs.Scaled(n.costs.MsgLatency); d > 0 {
 			time.Sleep(d)
 		}
@@ -145,20 +160,36 @@ func (n *Network) pump(p *path, dst *node) {
 			dst.handler(m)
 		}(msg)
 	}
+	for {
+		select {
+		case msg := <-p.ch:
+			deliver(msg)
+		case <-n.stopCh:
+			for {
+				select {
+				case msg := <-p.ch:
+					deliver(msg)
+				default:
+					return
+				}
+			}
+		}
+	}
 }
 
 // Send transmits msg.Payload from msg.From to msg.To over the chosen path
 // (AnyPath picks one at random). It charges the sender's CPU and returns
-// once the message is queued on the path.
+// once the message is queued on the path. A full path exerts backpressure:
+// Send blocks until the path drains, so path order is FIFO and no message
+// is silently lost under load. The only dropped sends are those racing or
+// following Close; they return ErrClosed and are counted as CtrNetDrops.
 func (n *Network) Send(msg Message, pathHint int) error {
 	ps, err := n.pathsFor(msg.From, msg.To)
 	if err != nil {
+		if errors.Is(err, ErrClosed) {
+			n.stats.Inc(sim.CtrNetDrops)
+		}
 		return err
-	}
-
-	n.stats.Inc(sim.CtrMessages)
-	if msg.CarriesPage {
-		n.stats.Inc(sim.CtrPageTransfers)
 	}
 
 	n.mu.Lock()
@@ -178,15 +209,23 @@ func (n *Network) Send(msg Message, pathHint int) error {
 	}
 	select {
 	case ps[idx].ch <- msg:
+		n.stats.Inc(sim.CtrMessages)
+		if msg.CarriesPage {
+			n.stats.Inc(sim.CtrPageTransfers)
+		}
 		return nil
-	default:
-		return fmt.Errorf("transport: path %d %s->%s full", idx, msg.From, msg.To)
+	case <-n.stopCh:
+		n.stats.Inc(sim.CtrNetDrops)
+		return fmt.Errorf("%w: %s->%s dropped", ErrClosed, msg.From, msg.To)
 	}
 }
 
-// Close shuts the network down: no further sends are accepted, in-flight
-// messages are delivered, and Close returns after every handler goroutine
-// has finished.
+// Close shuts the network down: no further sends are accepted, messages
+// already queued on paths are delivered, and Close returns after every
+// handler goroutine has finished. Path channels are never closed (a sender
+// blocked in Send must not panic); senders are unblocked via stopCh. Any
+// message a racing sender managed to enqueue after the pumps drained is
+// discarded here and counted as a drop.
 func (n *Network) Close() {
 	n.mu.Lock()
 	if n.closed {
@@ -200,11 +239,22 @@ func (n *Network) Close() {
 	}
 	n.mu.Unlock()
 
-	for _, p := range all {
-		close(p.ch)
-	}
+	close(n.stopCh)
 	for _, p := range all {
 		<-p.done
 	}
 	n.deliverWG.Wait()
+
+	for _, p := range all {
+	drain:
+		for {
+			select {
+			case <-p.ch:
+				n.stats.Inc(sim.CtrNetDrops)
+				n.stats.Add(sim.CtrMessages, -1) // it was counted as sent
+			default:
+				break drain
+			}
+		}
+	}
 }
