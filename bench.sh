@@ -1,14 +1,25 @@
 #!/usr/bin/env bash
 # bench.sh — run the lock-manager micro-benchmarks plus a figure smoke
-# benchmark and emit the results as machine-readable JSON (BENCH_1.json by
-# default, or the path given as $1).
+# benchmark and emit the results as machine-readable JSON. The output path
+# defaults to the next free BENCH_<n>.json (one past the highest number
+# already present), or the path given as $1.
 #
 # Each entry carries the benchmark name, iteration count, and every metric
 # the benchmark reported (ns/op plus custom metrics such as "tps:PS:w=0.02").
 set -euo pipefail
 cd "$(dirname "$0")"
 
-out=${1:-BENCH_1.json}
+if [[ $# -ge 1 ]]; then
+  out=$1
+else
+  last=0
+  for f in BENCH_*.json; do
+    [[ -e $f ]] || continue
+    n=${f#BENCH_}; n=${n%.json}
+    [[ $n =~ ^[0-9]+$ ]] && (( n > last )) && last=$n
+  done
+  out=BENCH_$((last + 1)).json
+fi
 tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 

@@ -1,0 +1,171 @@
+// Command benchdiff compares two bench.sh JSON reports and fails when a
+// benchmark regressed. It is the CI bench-regression gate: the repo keeps
+// the previous report checked in (BENCH_N.json), CI produces a fresh one,
+// and benchdiff refuses the change if any lock microbenchmark slowed down
+// by more than the threshold.
+//
+// Usage:
+//
+//	benchdiff [-threshold 0.15] [-metric ns/op] old.json new.json
+//
+// Benchmarks present in only one report are listed but never fatal (new
+// benchmarks appear, old ones get renamed). Custom throughput metrics
+// (tps:*) are reported for information only: wall-clock figure numbers on
+// shared CI runners are too noisy to gate on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+)
+
+type report struct {
+	Date       string       `json:"date"`
+	Commit     string       `json:"commit"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+}
+
+type benchEntry struct {
+	Name       string
+	Iterations int64
+	Metrics    map[string]float64
+}
+
+// UnmarshalJSON flattens the bench.sh entry layout, where every key other
+// than name/iterations is a metric.
+func (b *benchEntry) UnmarshalJSON(data []byte) error {
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return err
+	}
+	b.Metrics = make(map[string]float64)
+	for k, v := range raw {
+		switch k {
+		case "name":
+			if err := json.Unmarshal(v, &b.Name); err != nil {
+				return err
+			}
+		case "iterations":
+			if err := json.Unmarshal(v, &b.Iterations); err != nil {
+				return err
+			}
+		default:
+			var f float64
+			if err := json.Unmarshal(v, &f); err != nil {
+				return fmt.Errorf("metric %q: %w", k, err)
+			}
+			b.Metrics[k] = f
+		}
+	}
+	if b.Name == "" {
+		return fmt.Errorf("benchmark entry without a name")
+	}
+	return nil
+}
+
+func load(path string) (*report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &r, nil
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out *os.File) error {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	threshold := fs.Float64("threshold", 0.15, "fatal regression fraction (0.15 = 15% slower)")
+	metric := fs.String("metric", "ns/op", "metric to gate on (lower is better)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: benchdiff [flags] old.json new.json")
+	}
+	oldRep, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newRep, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	oldBy := make(map[string]benchEntry, len(oldRep.Benchmarks))
+	for _, b := range oldRep.Benchmarks {
+		oldBy[b.Name] = b
+	}
+	names := make([]string, 0, len(newRep.Benchmarks))
+	newBy := make(map[string]benchEntry, len(newRep.Benchmarks))
+	for _, b := range newRep.Benchmarks {
+		names = append(names, b.Name)
+		newBy[b.Name] = b
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(out, "old: %s (%s)\nnew: %s (%s)\n\n",
+		fs.Arg(0), oldRep.Commit, fs.Arg(1), newRep.Commit)
+
+	var regressions []string
+	for _, name := range names {
+		nb := newBy[name]
+		ob, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(out, "  NEW   %-40s %s=%g\n", name, *metric, nb.Metrics[*metric])
+			continue
+		}
+		ov, okOld := ob.Metrics[*metric]
+		nv, okNew := nb.Metrics[*metric]
+		if !okOld || !okNew || ov == 0 {
+			fmt.Fprintf(out, "  SKIP  %-40s (no %s in both reports)\n", name, *metric)
+			continue
+		}
+		delta := (nv - ov) / ov
+		status := "ok"
+		if delta > *threshold {
+			status = "FAIL"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", name, *metric, ov, nv, delta*100))
+		} else if delta < -*threshold {
+			status = "faster"
+		}
+		fmt.Fprintf(out, "  %-5s %-40s %s %.4g -> %.4g (%+.1f%%)\n",
+			status, name, *metric, ov, nv, delta*100)
+	}
+	for name := range oldBy {
+		if _, ok := newBy[name]; !ok {
+			fmt.Fprintf(out, "  GONE  %s\n", name)
+		}
+	}
+
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
+			len(regressions), *threshold*100, joinLines(regressions))
+	}
+	fmt.Fprintf(out, "\nno regression beyond %.0f%%\n", *threshold*100)
+	return nil
+}
+
+func joinLines(lines []string) string {
+	s := ""
+	for i, l := range lines {
+		if i > 0 {
+			s += "\n  "
+		}
+		s += l
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, name, body string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const oldReport = `{
+  "date": "2026-08-01T00:00:00Z", "commit": "aaaa111",
+  "benchmarks": [
+    {"name": "BenchmarkA", "iterations": 1000, "ns/op": 100},
+    {"name": "BenchmarkB", "iterations": 1000, "ns/op": 200},
+    {"name": "BenchmarkGone", "iterations": 10, "ns/op": 5}
+  ]
+}`
+
+func TestNoRegressionPasses(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "date": "2026-08-02T00:00:00Z", "commit": "bbbb222",
+	  "benchmarks": [
+	    {"name": "BenchmarkA", "iterations": 1000, "ns/op": 110},
+	    {"name": "BenchmarkB", "iterations": 1000, "ns/op": 150},
+	    {"name": "BenchmarkNew", "iterations": 5, "ns/op": 42}
+	  ]
+	}`)
+	if err := run([]string{oldPath, newPath}, os.Stdout); err != nil {
+		t.Fatalf("10%% slower + one faster + one new should pass: %v", err)
+	}
+}
+
+func TestRegressionFails(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "date": "2026-08-02T00:00:00Z", "commit": "cccc333",
+	  "benchmarks": [
+	    {"name": "BenchmarkA", "iterations": 1000, "ns/op": 130},
+	    {"name": "BenchmarkB", "iterations": 1000, "ns/op": 200}
+	  ]
+	}`)
+	err := run([]string{oldPath, newPath}, os.Stdout)
+	if err == nil {
+		t.Fatal("30% regression passed the 15% gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkA") {
+		t.Errorf("error does not name the regressed benchmark: %v", err)
+	}
+}
+
+func TestThresholdFlag(t *testing.T) {
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [{"name": "BenchmarkA", "iterations": 1000, "ns/op": 130}]
+	}`)
+	if err := run([]string{"-threshold", "0.5", oldPath, newPath}, os.Stdout); err != nil {
+		t.Fatalf("30%% regression should pass a 50%% threshold: %v", err)
+	}
+}
+
+func TestRealReportParses(t *testing.T) {
+	// The checked-in baseline must stay loadable, including its custom
+	// tps:* metrics.
+	rep, err := load("../../BENCH_1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		t.Fatal("baseline has no benchmarks")
+	}
+	for _, b := range rep.Benchmarks {
+		if b.Metrics["ns/op"] == 0 {
+			t.Errorf("%s: no ns/op metric", b.Name)
+		}
+	}
+}
+
+func TestBadUsage(t *testing.T) {
+	if err := run([]string{"only-one.json"}, os.Stdout); err == nil {
+		t.Error("single argument accepted")
+	}
+	if err := run([]string{"nope1.json", "nope2.json"}, os.Stdout); err == nil {
+		t.Error("missing files accepted")
+	}
+}

@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/harness"
+	"adaptivecc/internal/transport"
 )
 
 func main() {
@@ -40,6 +41,7 @@ func run(args []string) error {
 		warmup     = fs.Duration("warmup", 2*time.Second, "warmup per data point (wall clock)")
 		measure    = fs.Duration("measure", 8*time.Second, "measurement window per data point (wall clock)")
 		quiet      = fs.Bool("quiet", false, "suppress per-point progress")
+		dropRate   = fs.Float64("droprate", 0, "message drop probability (0 = reliable fabric, the paper's setting)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -107,7 +109,13 @@ func run(args []string) error {
 		progress = nil
 	}
 	for _, fig := range figs {
-		fmt.Printf("== Figure %d: %s [%s]\n", fig.Number, fig.Title, fig.Mode)
+		if *dropRate > 0 {
+			fig.Faults = &transport.FaultPlan{Seed: plat.Seed, DropProb: *dropRate}
+			fmt.Printf("== Figure %d: %s [%s] (%.2g%% message loss)\n",
+				fig.Number, fig.Title, fig.Mode, *dropRate*100)
+		} else {
+			fmt.Printf("== Figure %d: %s [%s]\n", fig.Number, fig.Title, fig.Mode)
+		}
 		res, err := harness.RunFigure(fig, plat, *warmup, *measure, progress)
 		if err != nil {
 			return err

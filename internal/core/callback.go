@@ -1,7 +1,10 @@
 package core
 
 import (
+	"fmt"
 	"strings"
+	"sync"
+	"time"
 
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/sim"
@@ -21,6 +24,52 @@ type cbOp struct {
 	tx     lock.TxID
 	item   storage.ItemID
 	events chan cbEvent
+
+	mu      sync.Mutex
+	waiting map[string]bool // clients whose ack is still outstanding
+}
+
+// clearWaiting removes client from the outstanding-ack set, reporting
+// whether it was still there. It doubles as the ack dedup: duplicate ack
+// deliveries, and real acks racing the synthetic ack injected when their
+// sender crashes, find the set already cleared and are ignored.
+func (op *cbOp) clearWaiting(client string) bool {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	if !op.waiting[client] {
+		return false
+	}
+	delete(op.waiting, client)
+	return true
+}
+
+// blockedKey dedups callback-blocked replies: a client reports each item
+// it blocks on at most once per operation, so a second (Client, Item)
+// event is a duplicate delivery and must not re-run the downgrade dance.
+type blockedKey struct {
+	client string
+	item   storage.ItemID
+}
+
+// errStaleTx reports a lock granted to a transaction that had already
+// finished when the grant completed (its requester abandoned the call on
+// an RPC timeout, or its site crashed); the grant has been undone.
+var errStaleTx = fmt.Errorf("core: transaction finished during lock wait: %w", lock.ErrCanceled)
+
+// lockGuarded acquires item for txid and neutralizes the grant if the
+// transaction finished meanwhile. The race exists only under the
+// resilience discipline, where a requester can abandon an in-flight
+// request (RPC timeout) or die (crash): its finish/reclaim releases the
+// transaction's locks, and a still-queued waiter granted afterwards would
+// be a zombie lock nobody ever releases. markFinished happens before the
+// release, so checking the tombstone after the grant closes the race.
+func (p *Peer) lockGuarded(txid lock.TxID, item storage.ItemID, mode lock.Mode, opt lock.Options) error {
+	err := p.locks.Lock(txid, item, mode, opt)
+	if err == nil && p.cfg.resilient() && !isCallbackThread(txid) && p.isFinished(txid) {
+		p.locks.ReleaseAll(txid)
+		return errStaleTx
+	}
+	return err
 }
 
 // cbThreadID derives the lock-table identity of a callback thread at a
@@ -98,7 +147,14 @@ func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester 
 // every "callback-blocked" reply. scope is the copy-table key invalidated
 // acks refer to (the page, or the file for file callbacks).
 func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID, clients map[string]uint64) (bool, error) {
-	op := &cbOp{id: p.newOpID(), tx: txid, item: item, events: make(chan cbEvent, len(clients)*4)}
+	op := &cbOp{
+		id: p.newOpID(), tx: txid, item: item,
+		events:  make(chan cbEvent, len(clients)*4),
+		waiting: make(map[string]bool, len(clients)),
+	}
+	for c := range clients {
+		op.waiting[c] = true
+	}
 	p.registerOp(op)
 	defer p.unregisterOp(op)
 
@@ -116,12 +172,40 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		convOut     = 0
 		downgraded  = false
 		firstErr    error
+		blockedSeen = make(map[blockedKey]bool)
 	)
+	// Under the resilience discipline the round must not hang forever on a
+	// client that will never answer (lost callback, lost ack, silent death):
+	// a timer that resets on every event aborts the blocking request when
+	// the round stops making progress.
+	var timer *time.Timer
+	var timeoutCh <-chan time.Time
+	if d := p.cfg.CallbackTimeout; d > 0 {
+		timer = time.NewTimer(d)
+		defer timer.Stop()
+		timeoutCh = timer.C
+	}
+	progress := func() {
+		if timer == nil {
+			return
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		timer.Reset(p.cfg.CallbackTimeout)
+	}
 	for pendingAcks > 0 || convOut > 0 {
 		select {
 		case ev := <-op.events:
+			progress()
 			switch {
 			case ev.ack != nil:
+				if !op.clearWaiting(ev.ack.Client) {
+					break // duplicate delivery (or raced a crash's synthetic ack)
+				}
 				tracef("op%d ack from %s invalidated=%v", op.id, ev.ack.Client, ev.ack.Invalidated)
 				pendingAcks--
 				if ev.ack.Invalidated {
@@ -133,14 +217,23 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 					p.dropCopies(scope, ev.ack.Client, clients[ev.ack.Client])
 				}
 			case ev.blocked != nil:
+				k := blockedKey{ev.blocked.Client, ev.blocked.Item}
+				if blockedSeen[k] {
+					break // duplicate delivery: the dance already ran
+				}
+				blockedSeen[k] = true
 				downgraded = true
 				p.handleBlocked(op, ev.blocked, convCh, &convOut)
 			}
 		case cerr := <-convCh:
+			progress()
 			convOut--
 			if cerr != nil && firstErr == nil {
 				firstErr = cerr
 			}
+		case <-timeoutCh:
+			p.stats.Inc(sim.CtrTimeoutsFired)
+			return downgraded, fmt.Errorf("core: callback op %d on %v stalled: %w", op.id, item, lock.ErrTimeout)
 		}
 		if firstErr != nil {
 			// The calling-back transaction lost a deadlock (or timed out)
@@ -156,11 +249,11 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		// write permission (the last conversion may have been downgraded by
 		// a later blocked reply).
 		if item != pageID && item.Level == storage.LevelObject {
-			if err := p.locks.Lock(op.tx, pageID, lock.IX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+			if err := p.lockGuarded(op.tx, pageID, lock.IX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
 				return downgraded, err
 			}
 		}
-		if err := p.locks.Lock(op.tx, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+		if err := p.lockGuarded(op.tx, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
 			return downgraded, err
 		}
 	}
@@ -220,12 +313,12 @@ func (p *Peer) handleBlocked(op *cbOp, bl *callbackBlocked, convCh chan error, c
 	*convOut++
 	go func() {
 		if twoLevel {
-			if err := p.locks.Lock(txid, blockedItem, lock.IX, lock.Options{SkipAncestors: true, Timeout: timeout}); err != nil {
+			if err := p.lockGuarded(txid, blockedItem, lock.IX, lock.Options{SkipAncestors: true, Timeout: timeout}); err != nil {
 				convCh <- err
 				return
 			}
 		}
-		convCh <- p.locks.Lock(txid, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: timeout})
+		convCh <- p.lockGuarded(txid, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: timeout})
 	}()
 }
 

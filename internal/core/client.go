@@ -532,9 +532,11 @@ func (t *Tx) finish(commit bool, recs []wal.Record) {
 			continue
 		}
 		if _, err := p.call(owner, finishReq{Tx: t.id, Commit: commit}); err != nil {
-			// The peer is unreachable; its locks will clear when it
-			// processes the message (the in-process transport does not
-			// lose messages).
+			// The owner is unreachable: either it crashed (its whole lock
+			// table died with it, and crash reclamation presumes this
+			// transaction aborted) or the retries were exhausted against a
+			// lossy link, in which case its locks clear when the owner
+			// eventually processes a retried finish or reclaims our crash.
 			continue
 		}
 	}

@@ -197,6 +197,29 @@ func (ct *copyTable) removeFileCopies(file storage.ItemID, client string) {
 	}
 }
 
+// removeClientCopies drops every page entry of one client (crash reclaim:
+// a dead client caches nothing). Returns how many entries were dropped.
+func (ct *copyTable) removeClientCopies(client string) int {
+	ct.mu.Lock()
+	defer ct.mu.Unlock()
+	n := 0
+	for _, pc := range ct.pages {
+		if _, had := pc.clients[client]; had {
+			delete(pc.clients, client)
+			n++
+		}
+	}
+	for f, fc := range ct.files {
+		if _, had := fc[client]; had {
+			delete(fc, client)
+			if len(fc) == 0 {
+				delete(ct.files, f)
+			}
+		}
+	}
+	return n
+}
+
 // copiesOf returns the clients caching page (excluding except) together
 // with the install counts of their copies at this moment. Callback
 // operations capture these counts when sending callbacks so that an

@@ -111,7 +111,29 @@ type Config struct {
 	// §4.3.2: explicit SH/IS page locks always propagate to the server
 	// (the simplified algorithm of §4.3.1). For the ablation benchmark.
 	PropagateSHPage bool
+
+	// Faults, when non-nil, is installed on the network at NewSystem and
+	// implies the resilience defaults below. Nil (the default) leaves the
+	// fabric reliable and every resilience mechanism dormant, so fault-free
+	// runs are bit-identical to the pre-fault-injection system.
+	Faults *transport.FaultPlan
+	// RPCTimeout bounds each request/reply attempt; zero waits forever
+	// (the pre-fault behavior). When Faults is set it defaults to 500ms.
+	RPCTimeout time.Duration
+	// RPCMaxRetries is how many times a timed-out request is resent (with
+	// exponential backoff, doubling up to 8×RPCTimeout) before the call
+	// fails. Default 6 when RPCTimeout is enabled.
+	RPCMaxRetries int
+	// CallbackTimeout bounds a callback round's wait for acks: if no
+	// progress happens within it, the blocking write request aborts with a
+	// timeout instead of hanging. Default 4×RPCTimeout when RPCTimeout is
+	// enabled; zero disables.
+	CallbackTimeout time.Duration
 }
+
+// resilient reports whether the request/reply resilience discipline
+// (timeouts, retries, dedup, stale-transaction guards) is active.
+func (c Config) resilient() bool { return c.RPCTimeout > 0 }
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
@@ -145,6 +167,17 @@ func (c Config) withDefaults() Config {
 	if c.FixedTimeout == 0 {
 		c.FixedTimeout = 2 * time.Second
 	}
+	if c.Faults != nil && c.RPCTimeout == 0 {
+		c.RPCTimeout = 500 * time.Millisecond
+	}
+	if c.RPCTimeout > 0 {
+		if c.RPCMaxRetries == 0 {
+			c.RPCMaxRetries = 6
+		}
+		if c.CallbackTimeout == 0 {
+			c.CallbackTimeout = 4 * c.RPCTimeout
+		}
+	}
 	return c
 }
 
@@ -165,10 +198,14 @@ type System struct {
 func NewSystem(cfg Config) *System {
 	cfg = cfg.withDefaults()
 	stats := sim.NewStats()
+	net := transport.NewNetwork(cfg.Costs, stats, cfg.NumPaths, cfg.Seed)
+	if cfg.Faults != nil {
+		net.InjectFaults(*cfg.Faults)
+	}
 	return &System{
 		cfg:    cfg,
 		stats:  stats,
-		net:    transport.NewNetwork(cfg.Costs, stats, cfg.NumPaths, cfg.Seed),
+		net:    net,
 		dir:    storage.NewDirectory(),
 		owners: make(map[storage.VolumeID]string),
 		peers:  make(map[string]*Peer),
@@ -240,3 +277,29 @@ func (s *System) ownerOf(item storage.ItemID) (string, error) {
 
 // Close shuts the network down, draining in-flight messages.
 func (s *System) Close() { s.net.Close() }
+
+// Net exposes the transport fabric (fault injection, runtime partitions).
+func (s *System) Net() *transport.Network { return s.net }
+
+// CrashPeer kills a peer: the network refuses its traffic both ways, and
+// every surviving peer synchronously reclaims the state the dead peer left
+// behind — its transactions' locks and copy-table entries are released,
+// and its uncommitted shipped updates are rolled back from the WAL's
+// before-images (presumed abort). Crash handling requires the resilience
+// discipline (Config.RPCTimeout > 0, or Faults set): without bounded RPCs
+// a survivor blocked on the dead peer would wait forever.
+func (s *System) CrashPeer(name string) error {
+	p, ok := s.peers[name]
+	if !ok {
+		return fmt.Errorf("core: unknown peer %q", name)
+	}
+	if !s.net.Crash(name) {
+		return nil // already dead
+	}
+	for _, q := range s.peers {
+		if q != p {
+			q.peerDown(name)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,416 @@
+package core
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
+	"adaptivecc/internal/verify"
+)
+
+// resilientCfg enables the resilience discipline with timeouts short
+// enough for tests. The lock timeout stays below the total retry budget so
+// a blocked server request resolves before its client abandons the call.
+func resilientCfg(c *Config) {
+	c.RPCTimeout = 100 * time.Millisecond
+	c.FixedTimeout = 2 * time.Second
+}
+
+// watchdog fails the test with full stacks if fn does not return in time —
+// a hung protocol under faults must be diagnosable, not a CI timeout.
+func watchdog(t *testing.T, d time.Duration, fn func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Fatalf("hung after %v:\n%s", d, buf[:n])
+	}
+}
+
+// faultPlanFor builds the injection plan of one matrix cell.
+func faultPlanFor(kind string) *transport.FaultPlan {
+	switch kind {
+	case "drop":
+		return &transport.FaultPlan{Seed: 11, DropProb: 0.05}
+	case "dup":
+		return &transport.FaultPlan{Seed: 12, DupProb: 0.15}
+	case "delay":
+		return &transport.FaultPlan{Seed: 13, DelayProb: 0.15, Delay: 2 * time.Millisecond}
+	case "crash":
+		return nil // runtime crash, no message faults
+	default:
+		panic("unknown fault kind " + kind)
+	}
+}
+
+func parseProtocol(t *testing.T, s string) Protocol {
+	switch s {
+	case "PS":
+		return PS
+	case "PS-OO", "PSOO":
+		return PSOO
+	case "PS-OA", "PSOA":
+		return PSOA
+	case "PS-AA", "PSAA":
+		return PSAA
+	default:
+		t.Fatalf("unknown FAULT_PROTOCOL %q", s)
+		return 0
+	}
+}
+
+// TestFaultMatrix runs the serializability oracle under injected faults for
+// every {fault kind} x {protocol} cell. By default every cell runs briefly;
+// CI narrows to one cell via FAULT_KIND / FAULT_PROTOCOL and scales the
+// load up. Whatever the fabric does — losing, duplicating, or reordering
+// messages, or killing a peer outright — the committed history must stay
+// serializable and no worker may hang.
+func TestFaultMatrix(t *testing.T) {
+	kinds := []string{"drop", "dup", "delay", "crash"}
+	protos := []Protocol{PS, PSOA, PSAA}
+	txsPerClient := 12
+	if k := os.Getenv("FAULT_KIND"); k != "" {
+		kinds = []string{k}
+		txsPerClient = 30
+	}
+	if p := os.Getenv("FAULT_PROTOCOL"); p != "" {
+		protos = []Protocol{parseProtocol(t, p)}
+	}
+	for _, kind := range kinds {
+		for _, proto := range protos {
+			t.Run(kind+"/"+proto.String(), func(t *testing.T) {
+				watchdog(t, 4*time.Minute, func() {
+					runFaultCell(t, kind, proto, txsPerClient)
+				})
+			})
+		}
+	}
+}
+
+func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
+	opts := []func(*Config){resilientCfg}
+	if plan := faultPlanFor(kind); plan != nil {
+		opts = append(opts, func(c *Config) { c.Faults = plan })
+	}
+	// Page 4 is reserved for the crash cell's pinned transaction; the
+	// oracle's workers touch pages 0-3 only.
+	tc := newCluster(t, proto, 3, 5, opts...)
+	stats := tc.sys.Stats()
+	hist := verify.NewHistory()
+	decode := func(raw []byte) verify.Version {
+		return verify.Version{Writer: string(bytes.TrimRight(raw, "\x00"))}
+	}
+
+	crashTarget := ""
+	if kind == "crash" {
+		crashTarget = tc.clients[len(tc.clients)-1].Name()
+	}
+
+	var wg sync.WaitGroup
+	committed := make([]int, len(tc.clients))
+	for ci, c := range tc.clients {
+		wg.Add(1)
+		go func(ci int, p *Peer) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(ci)*7 + 3))
+			for n := 0; n < txsPerClient; n++ {
+				objs := make(map[storage.ItemID]bool)
+				for len(objs) < 2+rng.Intn(2) {
+					objs[objID(uint32(rng.Intn(4)), uint16(rng.Intn(4)))] = true
+				}
+				for {
+					if tc.sys.Net().Crashed(p.Name()) {
+						return // this worker's peer died; survivors carry on
+					}
+					x := p.Begin()
+					rec := verify.TxRecord{Name: x.ID().String()}
+					failed := false
+					for obj := range objs {
+						raw, err := x.Read(obj)
+						if err != nil {
+							failed = true
+							break
+						}
+						op := verify.Op{Object: obj.String(), Read: decode(raw), DidRead: true}
+						if rng.Intn(2) == 0 {
+							if err := x.Write(obj, []byte(rec.Name)); err != nil {
+								failed = true
+								break
+							}
+							op.Wrote = true
+						}
+						rec.Ops = append(rec.Ops, op)
+					}
+					if !failed && x.Commit() == nil {
+						hist.Commit(rec)
+						committed[ci]++
+						break
+					}
+					_ = x.Abort()
+					time.Sleep(time.Duration(rng.Intn(3)+1) * time.Millisecond)
+				}
+			}
+		}(ci, c)
+	}
+
+	if kind == "crash" {
+		// Pin state at the victim so the reclaim provably has work: an open
+		// transaction holding a server EX lock on the reserved page.
+		victim, _ := tc.sys.Peer(crashTarget)
+		pin := victim.Begin()
+		if err := pin.Write(objID(4, 0), []byte("doomed")); err != nil {
+			t.Fatalf("pin write: %v", err)
+		}
+		time.Sleep(200 * time.Millisecond) // let the workers mingle
+		if err := tc.sys.CrashPeer(crashTarget); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+
+	for ci := range tc.clients {
+		name := tc.clients[ci].Name()
+		if name == crashTarget {
+			continue
+		}
+		if committed[ci] != txsPerClient {
+			t.Errorf("worker %s committed %d/%d", name, committed[ci], txsPerClient)
+		}
+	}
+	if err := hist.Check(); err != nil {
+		var cyc *verify.CycleError
+		if errors.As(err, &cyc) {
+			t.Fatalf("%s under %s faults produced a NON-SERIALIZABLE history: %v", proto, kind, cyc.Cycle)
+		}
+		t.Fatalf("history check: %v", err)
+	}
+
+	// The injected fault must actually have been exercised, and the
+	// resilience counter that answers it must have moved.
+	switch kind {
+	case "drop":
+		if stats.Get(sim.CtrFaultDrops) == 0 {
+			t.Error("no messages dropped")
+		}
+		if stats.Get(sim.CtrRetries) == 0 {
+			t.Error("drops injected but no request was retried")
+		}
+	case "dup":
+		if stats.Get(sim.CtrFaultDups) == 0 {
+			t.Error("no messages duplicated")
+		}
+		if stats.Get(sim.CtrDupSuppressed) == 0 {
+			t.Error("duplicates injected but none suppressed")
+		}
+	case "delay":
+		if stats.Get(sim.CtrFaultDelays) == 0 {
+			t.Error("no messages delayed")
+		}
+	case "crash":
+		if stats.Get(sim.CtrCrashRecoveries) == 0 {
+			t.Error("peer crashed but no survivor reclaimed anything")
+		}
+		// The victim's transactions must have left no locks at any survivor
+		// (its own lock manager died with it).
+		for _, p := range tc.sys.Peers() {
+			if p.Name() == crashTarget {
+				continue
+			}
+			if txs := p.Locks().TxsBySite(crashTarget); len(txs) != 0 {
+				t.Errorf("%s still holds locks of crashed %s: %v", p.Name(), crashTarget, txs)
+			}
+		}
+	}
+}
+
+// TestCrashReclaimUnblocksSurvivors crashes a client that holds a server
+// EX lock and cached copies; a surviving client must then be able to write
+// the same object without waiting for any timeout-driven cleanup.
+func TestCrashReclaimUnblocksSurvivors(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		tc := newCluster(t, PSAA, 2, 10, resilientCfg)
+		c1, c2 := tc.clients[0], tc.clients[1]
+
+		base := c2.Begin()
+		writeVal(t, base, objID(3, 1), "base")
+		mustCommit(t, base)
+
+		hold := c1.Begin()
+		writeVal(t, hold, objID(3, 1), "zombie") // EX at srv, never committed
+		if err := tc.sys.CrashPeer("c1"); err != nil {
+			t.Fatal(err)
+		}
+
+		x := c2.Begin()
+		if got := readVal(t, x, objID(3, 1)); got != "base" {
+			t.Errorf("read %q after crash, want base (uncommitted write leaked)", got)
+		}
+		writeVal(t, x, objID(3, 1), "after")
+		mustCommit(t, x)
+
+		if got := tc.sys.Stats().Get(sim.CtrCrashRecoveries); got == 0 {
+			t.Error("crash_recoveries = 0")
+		}
+		if txs := tc.srv.Locks().TxsBySite("c1"); len(txs) != 0 {
+			t.Errorf("server still holds locks of crashed c1: %v", txs)
+		}
+		_ = hold // the crashed peer's handle is dead with it
+	})
+}
+
+// TestCrashUndoesShippedRecords ships a transaction's log records to the
+// owner early (as a dirty-page eviction would), then crashes the client
+// before commit: the owner must undo the redone updates from the records'
+// before-images, so survivors read the last committed value.
+func TestCrashUndoesShippedRecords(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		tc := newCluster(t, PSAA, 2, 10, resilientCfg)
+		c1, c2 := tc.clients[0], tc.clients[1]
+
+		base := c2.Begin()
+		writeVal(t, base, objID(5, 2), "base")
+		mustCommit(t, base)
+
+		x := c1.Begin()
+		writeVal(t, x, objID(5, 2), "uncommitted")
+		// Early log shipping (§3.3): the owner redoes the records into its
+		// buffer and keeps them active pending the transaction's fate.
+		recs := c1.logCache.Take(x.ID())
+		if len(recs) == 0 {
+			t.Fatal("no log records generated")
+		}
+		if _, err := c1.call("srv", prepareReq{Tx: x.ID(), Records: recs}); err != nil {
+			t.Fatal(err)
+		}
+		if n := tc.srv.slog.ActiveRecords(x.ID()); n == 0 {
+			t.Fatal("owner holds no active records after prepare")
+		}
+
+		if err := tc.sys.CrashPeer("c1"); err != nil {
+			t.Fatal(err)
+		}
+		if n := tc.srv.slog.ActiveRecords(x.ID()); n != 0 {
+			t.Errorf("owner still holds %d active records of the dead client", n)
+		}
+
+		r := c2.Begin()
+		if got := readVal(t, r, objID(5, 2)); got != "base" {
+			t.Errorf("read %q, want base (shipped uncommitted update not undone)", got)
+		}
+		mustCommit(t, r)
+	})
+}
+
+// TestRPCTimeoutAbortsCleanly cuts a client off from the owner: its call
+// must fail with ErrRPCTimeout after bounded retries instead of hanging,
+// and after the link heals the client works again.
+func TestRPCTimeoutAbortsCleanly(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		tc := newCluster(t, PSAA, 1, 10, func(c *Config) {
+			c.RPCTimeout = 60 * time.Millisecond
+			c.RPCMaxRetries = 2
+		})
+		c1 := tc.clients[0]
+		stats := tc.sys.Stats()
+
+		tc.sys.Net().PartitionLink("c1", "srv")
+		x := c1.Begin()
+		_, err := x.Read(objID(1, 0))
+		if !errors.Is(err, ErrRPCTimeout) {
+			t.Fatalf("read through partition: %v, want ErrRPCTimeout", err)
+		}
+		tc.sys.Net().HealLink("c1", "srv")
+		_ = x.Abort()
+
+		if got := stats.Get(sim.CtrTimeoutsFired); got < 3 {
+			t.Errorf("timeouts_fired = %d, want >= 3 (initial + 2 retries)", got)
+		}
+		if got := stats.Get(sim.CtrRetries); got != 2 {
+			t.Errorf("retries = %d, want 2", got)
+		}
+
+		y := c1.Begin()
+		if got := readVal(t, y, objID(1, 0)); len(got) == 0 {
+			_ = got // zero-filled object; reaching here is the point
+		}
+		mustCommit(t, y)
+	})
+}
+
+// TestCallbackTimeoutAbortsWriter cuts the owner off from a caching client
+// mid-callback: the blocked write must abort with a timeout instead of
+// hanging, and succeed once the link heals.
+func TestCallbackTimeoutAbortsWriter(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		tc := newCluster(t, PSOA, 2, 10, func(c *Config) {
+			c.RPCTimeout = 100 * time.Millisecond
+			c.CallbackTimeout = 300 * time.Millisecond
+		})
+		c1, c2 := tc.clients[0], tc.clients[1]
+
+		warm := c2.Begin()
+		readVal(t, warm, objID(2, 0)) // c2 now caches page 2
+		mustCommit(t, warm)
+
+		tc.sys.Net().PartitionLink("srv", "c2") // callbacks to c2 vanish
+		x := c1.Begin()
+		err := x.Write(objID(2, 0), []byte("v"))
+		if !errors.Is(err, lock.ErrTimeout) {
+			t.Fatalf("write with unreachable caching client: %v, want lock.ErrTimeout", err)
+		}
+		_ = x.Abort()
+		if got := tc.sys.Stats().Get(sim.CtrTimeoutsFired); got == 0 {
+			t.Error("timeouts_fired = 0, want callback-round timeout")
+		}
+
+		tc.sys.Net().HealLink("srv", "c2")
+		y := c1.Begin()
+		writeVal(t, y, objID(2, 0), "v2")
+		mustCommit(t, y)
+
+		z := c2.Begin()
+		if got := readVal(t, z, objID(2, 0)); got != "v2" {
+			t.Errorf("c2 reads %q after heal, want v2", got)
+		}
+		mustCommit(t, z)
+	})
+}
+
+// TestFaultFreeRunsUntouched pins the bit-identity guarantee: a system
+// built without a fault plan must not move any resilience counter.
+func TestFaultFreeRunsUntouched(t *testing.T) {
+	tc := newCluster(t, PSAA, 2, 10)
+	a, b := tc.clients[0], tc.clients[1]
+	x := a.Begin()
+	writeVal(t, x, objID(1, 1), "v")
+	mustCommit(t, x)
+	y := b.Begin()
+	readVal(t, y, objID(1, 1))
+	mustCommit(t, y)
+
+	for _, ctr := range []string{
+		sim.CtrRetries, sim.CtrTimeoutsFired, sim.CtrDupSuppressed,
+		sim.CtrCrashRecoveries, sim.CtrFaultDrops, sim.CtrFaultDups,
+		sim.CtrFaultDelays, sim.CtrCrashDrops,
+	} {
+		if v := tc.sys.Stats().Get(ctr); v != 0 {
+			t.Errorf("%s = %d on a fault-free run", ctr, v)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -59,10 +60,49 @@ type Peer struct {
 	// checks it after every run: a simulation whose writes silently vanish
 	// would otherwise report healthy-looking throughput.
 	lastErr error
+
+	// Resilience state, populated only when cfg.resilient(). reqSeen dedups
+	// re-delivered requests by (sender, ReqID): a nil value marks a request
+	// still being served (re-deliveries are suppressed without a reply), a
+	// non-nil value caches the reply so a retry whose original reply was
+	// lost gets it re-sent. cbSeen dedups re-delivered callback requests by
+	// (server, opID). Both are bounded by eviction rings, guarded by mu.
+	reqSeen map[dedupKey]*rpcReply
+	reqRing []dedupKey
+	reqIdx  int
+	cbSeen  map[cbKey]bool
+	cbRing  []cbKey
+	cbIdx   int
 }
+
+// dedupKey identifies a request across re-deliveries.
+type dedupKey struct {
+	from string
+	req  uint64
+}
+
+// cbKey identifies a callback request across re-deliveries.
+type cbKey struct {
+	server string
+	op     uint64
+}
+
+// noReply marks a dedup entry as fully processed for fire-and-forget
+// envelopes (purge flushes), which have no reply to cache.
+var noReply = &rpcReply{}
+
+// ErrRPCTimeout is returned by a call whose every attempt went unanswered
+// within Config.RPCTimeout. The caller must abort its transaction.
+var ErrRPCTimeout = errors.New("core: rpc timed out")
 
 // finishedRingSize bounds the tombstone set.
 const finishedRingSize = 8192
+
+// reqSeenRingSize and cbSeenRingSize bound the dedup sets.
+const (
+	reqSeenRingSize = 8192
+	cbSeenRingSize  = 4096
+)
 
 func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols []*storage.Volume) *Peer {
 	cfg := s.cfg
@@ -94,6 +134,12 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 		replicatedAt: make(map[lock.TxID]map[string]bool),
 		finished:     make(map[lock.TxID]bool),
 		finishedRing: make([]lock.TxID, finishedRingSize),
+	}
+	if cfg.resilient() {
+		p.reqSeen = make(map[dedupKey]*rpcReply)
+		p.reqRing = make([]dedupKey, reqSeenRingSize)
+		p.cbSeen = make(map[cbKey]bool)
+		p.cbRing = make([]cbKey, cbSeenRingSize)
 	}
 	for _, v := range vols {
 		p.volumes[v.ID] = v
@@ -166,11 +212,31 @@ func (p *Peer) handle(m transport.Message) {
 		if !ok {
 			return
 		}
+		dedup := p.cfg.resilient() && env.ReqID != 0
+		if dedup {
+			if seen, cached := p.dedupCheck(env.From, env.ReqID); seen {
+				// A re-delivery (duplicate fault, or a retry whose original
+				// made it). If the first execution already finished, re-send
+				// its reply — the reply may be what got lost; if it is still
+				// in flight, its reply will answer the retry too.
+				p.stats.Inc(sim.CtrDupSuppressed)
+				if cached != nil && cached != noReply {
+					_ = p.sys.net.Send(transport.Message{
+						From: p.name, To: env.From, Kind: kindReply,
+						CarriesPage: replyCarriesPage(cached.Body), Payload: *cached,
+					}, transport.AnyPath)
+				}
+				return
+			}
+		}
 		p.processPiggyback(env.From, env.Pig)
 		p.cpu.Use(p.cfg.Costs.LockCPU)
 		body, err := p.serveRequest(env.From, env.Body)
 		code, detail := encodeErr(err)
 		reply := rpcReply{ReqID: env.ReqID, Code: code, Detail: detail, Body: body}
+		if dedup {
+			p.dedupComplete(env.From, env.ReqID, &reply)
+		}
 		carries := replyCarriesPage(body)
 		_ = p.sys.net.Send(transport.Message{
 			From: p.name, To: env.From, Kind: kindReply,
@@ -195,6 +261,12 @@ func (p *Peer) handle(m transport.Message) {
 		if !ok {
 			return
 		}
+		if p.cfg.resilient() && p.cbDedup(req.Server, req.OpID) {
+			// Duplicate callback delivery: the first copy will (or already
+			// did) answer; a second ack would corrupt the round's count.
+			p.stats.Inc(sim.CtrDupSuppressed)
+			return
+		}
 		p.handleCallback(req)
 
 	case kindCallbackAck:
@@ -217,7 +289,19 @@ func (p *Peer) handle(m transport.Message) {
 		if !ok {
 			return
 		}
+		dedup := p.cfg.resilient() && env.ReqID != 0
+		if dedup {
+			if seen, _ := p.dedupCheck(env.From, env.ReqID); seen {
+				// Re-applying a purge notice would double-count installs and
+				// re-redo log records.
+				p.stats.Inc(sim.CtrDupSuppressed)
+				return
+			}
+		}
 		p.processPiggyback(env.From, env.Pig)
+		if dedup {
+			p.dedupComplete(env.From, env.ReqID, noReply)
+		}
 	}
 }
 
@@ -233,7 +317,11 @@ func replyCarriesPage(body any) bool {
 }
 
 // call performs a synchronous request to another peer, piggybacking any
-// queued purge notices for that destination.
+// queued purge notices for that destination. Without the resilience
+// discipline it waits for the reply forever (the fabric is reliable); with
+// it, each attempt is bounded by RPCTimeout and the same envelope — same
+// ReqID, same piggyback — is resent with exponential backoff, relying on
+// the receiver's dedup table for at-least-once → exactly-once semantics.
 func (p *Peer) call(dest string, body any) (any, error) {
 	if dest == p.name {
 		return nil, fmt.Errorf("core: self-call at %s", p.name)
@@ -244,18 +332,53 @@ func (p *Peer) call(dest string, body any) (any, error) {
 	id := p.nextReq
 	p.pendingRPC[id] = ch
 	p.mu.Unlock()
-
-	env := rpcEnvelope{ReqID: id, From: p.name, Pig: p.cs.takePurges(dest), Body: body}
-	if err := p.sys.net.Send(transport.Message{
-		From: p.name, To: dest, Kind: kindRequest, Payload: env,
-	}, transport.AnyPath); err != nil {
+	cancel := func() {
 		p.mu.Lock()
 		delete(p.pendingRPC, id)
 		p.mu.Unlock()
+	}
+
+	env := rpcEnvelope{ReqID: id, From: p.name, Pig: p.cs.takePurges(dest), Body: body}
+	msg := transport.Message{From: p.name, To: dest, Kind: kindRequest, Payload: env}
+	if err := p.sys.net.Send(msg, transport.AnyPath); err != nil {
+		cancel()
 		return nil, err
 	}
-	reply := <-ch
-	return reply.Body, decodeErr(reply.Code, reply.Detail)
+
+	if !p.cfg.resilient() {
+		reply := <-ch
+		return reply.Body, decodeErr(reply.Code, reply.Detail)
+	}
+
+	wait := p.cfg.RPCTimeout
+	maxWait := 8 * p.cfg.RPCTimeout
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	for attempt := 0; ; attempt++ {
+		select {
+		case reply := <-ch:
+			return reply.Body, decodeErr(reply.Code, reply.Detail)
+		case <-timer.C:
+			p.stats.Inc(sim.CtrTimeoutsFired)
+			if attempt >= p.cfg.RPCMaxRetries {
+				cancel()
+				return nil, fmt.Errorf("%w: %s->%s after %d attempts",
+					ErrRPCTimeout, p.name, dest, attempt+1)
+			}
+			// Resend the identical envelope: the receiver dedups by
+			// (From, ReqID) and re-sends its cached reply if the first
+			// execution's answer was what got lost.
+			p.stats.Inc(sim.CtrRetries)
+			if err := p.sys.net.Send(msg, transport.AnyPath); err != nil {
+				cancel()
+				return nil, err
+			}
+			if wait *= 2; wait > maxWait {
+				wait = maxWait
+			}
+			timer.Reset(wait)
+		}
+	}
 }
 
 // flushPurges sends queued purge notices to owner immediately (used when a
@@ -265,9 +388,19 @@ func (p *Peer) flushPurges(owner string) {
 	if len(pig) == 0 {
 		return
 	}
+	// Under resilience the flush carries a real ReqID so a duplicated
+	// delivery is suppressed by the owner's dedup table (re-applying a
+	// notice would double-count installs and re-redo log records).
+	var id uint64
+	if p.cfg.resilient() {
+		p.mu.Lock()
+		p.nextReq++
+		id = p.nextReq
+		p.mu.Unlock()
+	}
 	_ = p.sys.net.Send(transport.Message{
 		From: p.name, To: owner, Kind: kindPurgeFlush,
-		Payload: rpcEnvelope{From: p.name, Pig: pig},
+		Payload: rpcEnvelope{ReqID: id, From: p.name, Pig: pig},
 	}, transport.AnyPath)
 }
 
@@ -384,6 +517,127 @@ func (p *Peer) isFinished(txid lock.TxID) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.finished[txid]
+}
+
+// dedupCheck records a request as in flight, or reports it already seen —
+// with the cached reply if its first execution has completed.
+func (p *Peer) dedupCheck(from string, id uint64) (seen bool, cached *rpcReply) {
+	key := dedupKey{from, id}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if r, ok := p.reqSeen[key]; ok {
+		return true, r
+	}
+	old := p.reqRing[p.reqIdx]
+	if old != (dedupKey{}) {
+		delete(p.reqSeen, old)
+	}
+	p.reqRing[p.reqIdx] = key
+	p.reqIdx = (p.reqIdx + 1) % len(p.reqRing)
+	p.reqSeen[key] = nil
+	return false, nil
+}
+
+// dedupComplete caches the reply of a finished request for re-sends.
+func (p *Peer) dedupComplete(from string, id uint64, reply *rpcReply) {
+	key := dedupKey{from, id}
+	p.mu.Lock()
+	if _, ok := p.reqSeen[key]; ok { // may have been ring-evicted meanwhile
+		p.reqSeen[key] = reply
+	}
+	p.mu.Unlock()
+}
+
+// cbDedup reports (and records) whether a callback request was seen before.
+func (p *Peer) cbDedup(server string, opID uint64) bool {
+	key := cbKey{server, opID}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.cbSeen[key] {
+		return true
+	}
+	old := p.cbRing[p.cbIdx]
+	if old != (cbKey{}) {
+		delete(p.cbSeen, old)
+	}
+	p.cbRing[p.cbIdx] = key
+	p.cbIdx = (p.cbIdx + 1) % len(p.cbRing)
+	p.cbSeen[key] = true
+	return false
+}
+
+// peerDown reclaims everything a crashed peer left at this peer, so the
+// survivors make progress instead of blocking on replies that will never
+// come. Callback rounds waiting on the dead client are completed with a
+// synthetic ack (dropping its copies below makes the invalidation true);
+// its cached copies are dropped from the copy table; and each of its
+// transactions is presumed aborted — tombstoned, its shipped uncommitted
+// updates rolled back from WAL before-images, and its locks (granted and
+// waiting) released.
+func (p *Peer) peerDown(dead string) {
+	reclaimed := false
+
+	p.mu.Lock()
+	ops := make([]*cbOp, 0, len(p.cbOps))
+	for _, op := range p.cbOps {
+		ops = append(ops, op)
+	}
+	p.mu.Unlock()
+	for _, op := range ops {
+		if op.clearWaiting(dead) {
+			select {
+			case op.events <- cbEvent{ack: &callbackAck{OpID: op.id, Client: dead, Invalidated: true}}:
+			default:
+			}
+		}
+	}
+
+	if p.ct.removeClientCopies(dead) > 0 {
+		reclaimed = true
+	}
+
+	txs := make(map[lock.TxID]bool)
+	for _, txid := range p.locks.TxsBySite(dead) {
+		txs[txid] = true
+	}
+	if p.slog != nil {
+		for _, txid := range p.slog.ActiveTxs() {
+			if txid.Site == dead {
+				txs[txid] = true
+			}
+		}
+	}
+	for txid := range txs {
+		p.markFinished(txid)
+		if p.slog != nil {
+			for _, rec := range p.slog.Abort(txid) {
+				p.undoOne(rec)
+			}
+		}
+		p.locks.ReleaseAll(txid)
+		reclaimed = true
+	}
+
+	// Client role: locks installed here by the dead server's callback
+	// threads would block local transactions forever.
+	for _, txid := range p.locks.TxsBySite("#cb/" + dead) {
+		p.locks.ReleaseAll(txid)
+		reclaimed = true
+	}
+
+	// Pending lock replications at the dead owner are moot.
+	p.mu.Lock()
+	for txid, set := range p.replicatedAt {
+		delete(set, dead)
+		if len(set) == 0 {
+			delete(p.replicatedAt, txid)
+		}
+	}
+	p.mu.Unlock()
+
+	if reclaimed {
+		p.stats.Inc(sim.CtrCrashRecoveries)
+	}
 }
 
 // setPendingCB marks an in-progress callback operation on an object, used

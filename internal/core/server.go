@@ -47,7 +47,7 @@ func (p *Peer) srvRead(from string, rq readReq) (any, error) {
 	if err := p.srvDeescalate(pageID, from); err != nil {
 		return nil, err
 	}
-	if err := p.locks.Lock(rq.Tx, obj, lock.SH, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.lockGuarded(rq.Tx, obj, lock.SH, lock.Options{Timeout: p.waitTimeout()}); err != nil {
 		return nil, err
 	}
 	if !remote {
@@ -91,7 +91,7 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 	if err := p.srvDeescalate(pageID, from); err != nil {
 		return nil, err
 	}
-	if err := p.locks.Lock(rq.Tx, obj, lock.EX, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.lockGuarded(rq.Tx, obj, lock.EX, lock.Options{Timeout: p.waitTimeout()}); err != nil {
 		return nil, err
 	}
 
@@ -146,7 +146,7 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 // and page IS/IX/SIX/EX modes (explicit SH page locks travel as whole-page
 // reads).
 func (p *Peer) srvLock(from string, rq lockReq) (any, error) {
-	if err := p.locks.Lock(rq.Tx, rq.Item, rq.Mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.lockGuarded(rq.Tx, rq.Item, rq.Mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
 		return nil, err
 	}
 	switch rq.Item.Level {
@@ -167,7 +167,7 @@ func (p *Peer) srvLock(from string, rq lockReq) (any, error) {
 			// page's dummy object so they surface and are invalidated
 			// (§4.3.2).
 			dummy := storage.ObjectItem(rq.Item.Vol, rq.Item.File, rq.Item.Page, storage.DummySlot)
-			if err := p.locks.Lock(rq.Tx, dummy, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+			if err := p.lockGuarded(rq.Tx, dummy, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
 				return nil, err
 			}
 			if _, err := p.runCallbackOp(rq.Tx, dummy, rq.Item, from); err != nil {

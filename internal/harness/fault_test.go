@@ -1,0 +1,99 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"adaptivecc/internal/core"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/transport"
+	"adaptivecc/internal/workload"
+)
+
+// TestRunUnderMessageLoss runs the standard workload over a lossy fabric:
+// the experiment must still commit transactions, and the loss must actually
+// have been injected and recovered from.
+func TestRunUnderMessageLoss(t *testing.T) {
+	res, err := Run(Experiment{
+		Workload:  workload.HotCold,
+		WriteProb: 0.1,
+		Protocol:  core.PSAA,
+		Mode:      ClientServer,
+		Warmup:    200 * time.Millisecond,
+		Measure:   800 * time.Millisecond,
+		Faults:    &transport.FaultPlan{Seed: 42, DropProb: 0.01},
+	}, fastPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Error("no commits under 1% message loss")
+	}
+	if res.Counters[sim.CtrFaultDrops] == 0 {
+		t.Error("no messages were dropped")
+	}
+	if res.Counters[sim.CtrRetries] == 0 {
+		t.Error("drops occurred but nothing was retried")
+	}
+	t.Logf("1%% loss: %.1f tps, %d commits, %d drops, %d retries",
+		res.Throughput, res.Commits,
+		res.Counters[sim.CtrFaultDrops], res.Counters[sim.CtrRetries])
+}
+
+// TestRunWithCrashScenario kills one client mid-window: the run must finish
+// healthy, survivors must keep committing after the crash, and the server
+// must have reclaimed the victim's state.
+func TestRunWithCrashScenario(t *testing.T) {
+	res, err := Run(Experiment{
+		Workload:  workload.HotCold,
+		WriteProb: 0.2,
+		Protocol:  core.PSAA,
+		Mode:      ClientServer,
+		Warmup:    200 * time.Millisecond,
+		Measure:   time.Second,
+		Scenario: &workload.Scenario{Events: []workload.Event{
+			workload.CrashAt(300*time.Millisecond, "c2"),
+		}},
+	}, fastPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Error("no commits in crash-scenario run")
+	}
+	if res.Counters[sim.CtrCrashRecoveries] == 0 {
+		t.Error("crash fired but crash_recoveries = 0")
+	}
+	t.Logf("crash run: %.1f tps, %d commits, %d crash drops",
+		res.Throughput, res.Commits, res.Counters[sim.CtrCrashDrops])
+}
+
+// TestRunWithPartitionHealScenario partitions one client from the server
+// and heals it: the run must finish healthy with survivors committing
+// throughout and the victim recovering after the heal.
+func TestRunWithPartitionHealScenario(t *testing.T) {
+	res, err := Run(Experiment{
+		Workload:  workload.HotCold,
+		WriteProb: 0.1,
+		Protocol:  core.PSOA,
+		Mode:      ClientServer,
+		Warmup:    200 * time.Millisecond,
+		Measure:   time.Second,
+		Scenario: &workload.Scenario{Events: []workload.Event{
+			workload.PartitionAt(200*time.Millisecond, "c1", "srv"),
+			workload.HealAt(500*time.Millisecond, "c1", "srv"),
+		}},
+	}, fastPlatform())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Commits == 0 {
+		t.Error("no commits in partition-scenario run")
+	}
+	if res.Counters[sim.CtrTimeoutsFired] == 0 {
+		t.Error("partition fired but no timeout ever triggered")
+	}
+	t.Logf("partition run: %.1f tps, %d commits, %d timeouts, %d retries",
+		res.Throughput, res.Commits,
+		res.Counters[sim.CtrTimeoutsFired], res.Counters[sim.CtrRetries])
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/core"
+	"adaptivecc/internal/transport"
 	"adaptivecc/internal/workload"
 )
 
@@ -23,6 +24,9 @@ type Figure struct {
 	WriteProbs   []float64
 	// Expectation summarizes the shape the paper reports, for EXPERIMENTS.md.
 	Expectation string
+	// Faults (optional) runs the figure over a faulty fabric — not part of
+	// the paper's figures, used for the loss-resilience measurements.
+	Faults *transport.FaultPlan
 }
 
 // defaultSweep is the write-probability axis of the paper's figures
@@ -108,6 +112,7 @@ func RunFigure(fig Figure, plat Platform, warmup, measure time.Duration, progres
 			first := Experiment{
 				Workload: fig.Workload, HighLocality: fig.HighLocality,
 				WriteProb: fig.WriteProbs[0], Protocol: proto, Mode: fig.Mode,
+				Faults: fig.Faults,
 			}
 			c, err := buildCluster(first, plat)
 			if err != nil {
@@ -124,6 +129,7 @@ func RunFigure(fig Figure, plat Platform, warmup, measure time.Duration, progres
 					Mode:         fig.Mode,
 					Warmup:       warmup,
 					Measure:      measure,
+					Faults:       fig.Faults,
 				}
 				if i == 0 {
 					exp.Warmup = 4 * warmup

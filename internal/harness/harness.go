@@ -7,11 +7,13 @@ package harness
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 	"time"
 
 	"adaptivecc/internal/core"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
 	"adaptivecc/internal/workload"
 )
 
@@ -95,6 +97,12 @@ type Experiment struct {
 	// NoTimeouts disables lock-wait timeouts entirely (client-server
 	// deadlocks are still detected exactly at the server).
 	NoTimeouts bool
+	// Faults injects message faults for the whole run (nil = reliable
+	// fabric; the figure numbers stay bit-identical).
+	Faults *transport.FaultPlan
+	// Scenario scripts runtime faults (crashes, partitions) relative to the
+	// start of the measurement window.
+	Scenario *workload.Scenario
 }
 
 // Result is one measured data point.
@@ -136,6 +144,18 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 		AdaptiveTimeout: exp.FixedTimeout == 0,
 		FixedTimeout:    exp.FixedTimeout,
 		PropagateSHPage: exp.PropagateSHPage,
+		Faults:          exp.Faults,
+	}
+	// A fault run needs the resilience discipline (request retry, callback
+	// timeouts, crash reclamation). The retry timeout tracks the simulation
+	// scale — 500ms at paper speed — so a lost message costs the same
+	// *paper time* at any TimeScale.
+	if exp.Faults != nil || exp.Scenario != nil {
+		rt := time.Duration(float64(500*time.Millisecond) * plat.TimeScale)
+		if rt < 10*time.Millisecond {
+			rt = 10 * time.Millisecond
+		}
+		cfg.RPCTimeout = rt
 	}
 	dbPages := plat.DatabasePages
 	clientPool := int(float64(dbPages) * plat.ClientBufFrac)
@@ -293,18 +313,33 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 	time.Sleep(exp.Warmup)
 	before := stats.Snapshot()
 	start := time.Now()
+
+	stopScen := make(chan struct{})
+	var scenDone chan struct{}
+	if exp.Scenario != nil {
+		scenDone = make(chan struct{})
+		go runScenario(c, apps, exp.Scenario, stopScen, scenDone)
+	}
+
 	time.Sleep(exp.Measure)
 	after := stats.Snapshot()
 	elapsed := time.Since(start)
 
+	close(stopScen)
+	if scenDone != nil {
+		<-scenDone
+	}
 	for _, a := range apps {
 		a.stop()
 	}
 
 	// Health check: a peer that hit an asynchronous storage failure (e.g. a
 	// failed dirty-page write-back) produced a run whose numbers cannot be
-	// trusted.
+	// trusted. A peer the scenario crashed is exempt — it died on purpose.
 	for _, p := range c.sys.Peers() {
+		if c.sys.Net().Crashed(p.Name()) {
+			continue
+		}
 		if err := p.LastError(); err != nil {
 			return Result{}, fmt.Errorf("harness: peer %s failed during run: %w", p.Name(), err)
 		}
@@ -334,6 +369,41 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 	return res, nil
 }
 
+// runScenario fires an experiment's scripted faults. Offsets are relative
+// to the start of the measurement window. A crashed peer's application is
+// stopped too: its program died with its machine.
+func runScenario(c *cluster, apps []*app, sc *workload.Scenario, stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	start := time.Now()
+	for _, ev := range sc.Sorted() {
+		if wait := ev.At - time.Since(start); wait > 0 {
+			select {
+			case <-stop:
+				return
+			case <-time.After(wait):
+			}
+		}
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		switch ev.Kind {
+		case workload.EventCrash:
+			_ = c.sys.CrashPeer(ev.Peer)
+			for _, a := range apps {
+				if a.peer.Name() == ev.Peer {
+					a.stop()
+				}
+			}
+		case workload.EventPartition:
+			c.sys.Net().PartitionLink(ev.From, ev.To)
+		case workload.EventHeal:
+			c.sys.Net().HealLink(ev.From, ev.To)
+		}
+	}
+}
+
 // app drives one application program: transactions generated from its
 // workload, executed back to back, re-executed with the same reference
 // string on abort (§5.1).
@@ -345,8 +415,9 @@ type app struct {
 	costs sim.CostTable
 	rng   *rand.Rand
 
-	stopCh chan struct{}
-	done   chan struct{}
+	stopOnce sync.Once
+	stopCh   chan struct{}
+	done     chan struct{}
 }
 
 func newApp(idx int, peer *core.Peer, sys *core.System, gen *workload.Generator, costs sim.CostTable) *app {
@@ -364,8 +435,10 @@ func newApp(idx int, peer *core.Peer, sys *core.System, gen *workload.Generator,
 
 func (a *app) start() { go a.run() }
 
+// stop is idempotent: the scenario driver stops a crashed peer's app, and
+// the window end stops every app again.
 func (a *app) stop() {
-	close(a.stopCh)
+	a.stopOnce.Do(func() { close(a.stopCh) })
 	<-a.done
 }
 

@@ -559,6 +559,32 @@ func (m *Manager) HeldItems(tx TxID) map[storage.ItemID]Mode {
 	return out
 }
 
+// TxsBySite lists every transaction homed at site that currently holds or
+// awaits a lock in this table. Crash reclamation uses it to find the state
+// a dead peer left behind.
+func (m *Manager) TxsBySite(site string) []TxID {
+	seen := make(map[TxID]bool)
+	m.tmu.Lock()
+	for tx := range m.txShards {
+		if tx.Site == site {
+			seen[tx] = true
+		}
+	}
+	m.tmu.Unlock()
+	m.wmu.Lock()
+	for tx := range m.waiting {
+		if tx.Site == site {
+			seen[tx] = true
+		}
+	}
+	m.wmu.Unlock()
+	out := make([]TxID, 0, len(seen))
+	for tx := range seen {
+		out = append(out, tx)
+	}
+	return out
+}
+
 // NumItems reports the number of live lock heads (for tests).
 func (m *Manager) NumItems() int {
 	n := 0

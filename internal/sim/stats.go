@@ -46,6 +46,14 @@ const (
 	CtrEscalationSaved = "escalations_saved" // object writes covered by an adaptive page lock
 	CtrNetDrops        = "net_drops"         // messages dropped because the network was closed
 	CtrWriteBackErrors = "writeback_errors"  // dirty-page write-backs that failed
+	CtrRetries         = "retries"           // RPC attempts resent after a reply timeout
+	CtrTimeoutsFired   = "timeouts_fired"    // RPC/callback-round timeouts that fired
+	CtrDupSuppressed   = "dup_suppressed"    // re-delivered messages suppressed by dedup
+	CtrCrashRecoveries = "crash_recoveries"  // peers that reclaimed state of a crashed peer
+	CtrFaultDrops      = "fault_drops"       // messages dropped by fault injection (incl. partitions)
+	CtrFaultDups       = "fault_dups"        // messages duplicated by fault injection
+	CtrFaultDelays     = "fault_delays"      // messages delayed/reordered by fault injection
+	CtrCrashDrops      = "crash_drops"       // sends refused because an endpoint was crashed
 )
 
 // NewStats returns an empty counter set.

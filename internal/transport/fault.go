@@ -1,0 +1,206 @@
+// Deterministic fault injection. A FaultPlan installed on a Network makes
+// the fabric unreliable in reproducible ways: per-link seeded RNG streams
+// decide — as a pure function of (plan seed, link, message index) — whether
+// each message is dropped, duplicated, or delayed out of FIFO order, and
+// declarative windows cut one-way partitions. Peers can additionally be
+// crashed at runtime, after which the network refuses traffic to and from
+// them. With no plan installed and no crashes, none of this code runs on
+// the send path beyond a single nil check, so fault-free runs are
+// bit-identical to a Network built before this file existed.
+package transport
+
+import (
+	"errors"
+	"hash/fnv"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrPeerDown is returned by Send when either endpoint has been crashed.
+// Unlike injected drops (which are silent, as on a real lossy wire), a
+// crashed peer refuses traffic loudly — the moral equivalent of connection
+// refused — so callers can fail fast instead of burning their retry budget.
+var ErrPeerDown = errors.New("transport: peer is down")
+
+// FaultPlan declares the faults to inject. Probabilities are per message;
+// all default to zero (no faults). The zero value injects nothing.
+type FaultPlan struct {
+	// Seed roots the per-link RNG streams. Two networks given the same
+	// plan, topology, and per-link message sequences make identical fault
+	// decisions.
+	Seed int64
+	// DropProb silently discards a message (the sender sees success).
+	DropProb float64
+	// DupProb enqueues a second copy of the message on the same path,
+	// exercising at-least-once delivery.
+	DupProb float64
+	// DelayProb delivers the message outside its path's FIFO order, after
+	// an extra Delay of latency — the reorder fault.
+	DelayProb float64
+	// Delay is the extra latency of a delayed message (default 1ms).
+	Delay time.Duration
+	// Partitions are one-way cuts: messages matching a window are silently
+	// dropped.
+	Partitions []Partition
+}
+
+// Partition silently drops messages From->To whose per-link sequence
+// number n satisfies FromMsg <= n < ToMsg (ToMsg == 0 means forever).
+// Empty From or To matches any endpoint, so {From: "p1"} isolates p1's
+// outbound traffic entirely.
+type Partition struct {
+	From, To       string
+	FromMsg, ToMsg uint64
+}
+
+// faultAction is the per-message decision.
+type faultAction int
+
+const (
+	actDeliver faultAction = iota
+	actDrop
+	actDup
+	actDelay
+)
+
+// faultState is the mutable fault machinery of one Network.
+type faultState struct {
+	mu      sync.Mutex
+	plan    FaultPlan
+	links   map[linkKey]*linkFaults
+	crashed map[string]bool
+	parts   map[linkKey]bool // runtime one-way partitions
+}
+
+// linkFaults is the deterministic decision stream of one ordered link.
+type linkFaults struct {
+	rng *rand.Rand
+	n   uint64 // messages offered to this link so far
+}
+
+func newFaultState(plan FaultPlan) *faultState {
+	return &faultState{
+		plan:    plan,
+		links:   make(map[linkKey]*linkFaults),
+		crashed: make(map[string]bool),
+		parts:   make(map[linkKey]bool),
+	}
+}
+
+// linkSeed mixes the plan seed with the link identity.
+func linkSeed(seed int64, key linkKey) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(key.from))
+	h.Write([]byte{0})
+	h.Write([]byte(key.to))
+	return seed ^ int64(h.Sum64())
+}
+
+// decide draws this message's fate. Exactly three uniform draws are made
+// per message regardless of outcome, so the decision stream for message n
+// of a link is independent of which probabilities are set.
+func (fs *faultState) decide(key linkKey) (faultAction, time.Duration) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	lf, ok := fs.links[key]
+	if !ok {
+		lf = &linkFaults{rng: rand.New(rand.NewSource(linkSeed(fs.plan.Seed, key)))}
+		fs.links[key] = lf
+	}
+	n := lf.n
+	lf.n++
+	if fs.parts[key] || fs.parts[linkKey{key.from, ""}] || fs.parts[linkKey{"", key.to}] {
+		return actDrop, 0
+	}
+	for _, pt := range fs.plan.Partitions {
+		if (pt.From == "" || pt.From == key.from) && (pt.To == "" || pt.To == key.to) &&
+			n >= pt.FromMsg && (pt.ToMsg == 0 || n < pt.ToMsg) {
+			return actDrop, 0
+		}
+	}
+	dropD, dupD, delayD := lf.rng.Float64(), lf.rng.Float64(), lf.rng.Float64()
+	switch {
+	case dropD < fs.plan.DropProb:
+		return actDrop, 0
+	case dupD < fs.plan.DupProb:
+		return actDup, 0
+	case delayD < fs.plan.DelayProb:
+		d := fs.plan.Delay
+		if d <= 0 {
+			d = time.Millisecond
+		}
+		return actDelay, d
+	}
+	return actDeliver, 0
+}
+
+func (fs *faultState) isCrashed(name string) bool {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.crashed[name]
+}
+
+// faultsOrCreate returns the network's fault state, installing an empty
+// one on first use (runtime crashes and partitions work without a plan).
+func (n *Network) faultsOrCreate() *faultState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if fs := n.faults.Load(); fs != nil {
+		return fs
+	}
+	fs := newFaultState(FaultPlan{})
+	n.faults.Store(fs)
+	return fs
+}
+
+// InjectFaults installs (or replaces) the network's fault plan. It may be
+// called before traffic starts; replacing a plan mid-run resets the
+// per-link decision streams but keeps nothing else (crashed peers and
+// runtime partitions are forgotten — inject before crashing).
+func (n *Network) InjectFaults(plan FaultPlan) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.faults.Store(newFaultState(plan))
+}
+
+// Crash marks an endpoint dead: subsequent sends to or from it fail with
+// ErrPeerDown, and messages already queued for it are discarded at
+// delivery time (a dead peer processes nothing). Returns false if the peer
+// was already crashed. Works without a fault plan.
+func (n *Network) Crash(name string) bool {
+	fs := n.faultsOrCreate()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.crashed[name] {
+		return false
+	}
+	fs.crashed[name] = true
+	return true
+}
+
+// Crashed reports whether an endpoint has been crashed.
+func (n *Network) Crashed(name string) bool {
+	fs := n.faults.Load()
+	return fs != nil && fs.isCrashed(name)
+}
+
+// PartitionLink installs a runtime one-way partition from->to ("" matches
+// any endpoint). It stacks with the plan's declarative windows.
+func (n *Network) PartitionLink(from, to string) {
+	fs := n.faultsOrCreate()
+	fs.mu.Lock()
+	fs.parts[linkKey{from, to}] = true
+	fs.mu.Unlock()
+}
+
+// HealLink removes a runtime partition installed by PartitionLink.
+func (n *Network) HealLink(from, to string) {
+	fs := n.faults.Load()
+	if fs == nil {
+		return
+	}
+	fs.mu.Lock()
+	delete(fs.parts, linkKey{from, to})
+	fs.mu.Unlock()
+}

@@ -1,0 +1,202 @@
+package transport
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/sim"
+)
+
+// faultNet builds a two-endpoint network with a counting handler on "b".
+func faultNet(t *testing.T, plan *FaultPlan) (*Network, *sim.Stats, *atomic.Int64) {
+	t.Helper()
+	stats := sim.NewStats()
+	n := NewNetwork(sim.CostTable{}, stats, 1, 42)
+	var got atomic.Int64
+	cpu := sim.NewResource("cpu", sim.CostTable{})
+	if err := n.Register("a", cpu, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", cpu, func(Message) { got.Add(1) }); err != nil {
+		t.Fatal(err)
+	}
+	if plan != nil {
+		n.InjectFaults(*plan)
+	}
+	t.Cleanup(n.Close)
+	return n, stats, &got
+}
+
+func TestFaultDropIsSilentAndDeterministic(t *testing.T) {
+	const msgs = 500
+	run := func() (delivered int64, drops int64) {
+		n, stats, got := faultNet(t, &FaultPlan{Seed: 7, DropProb: 0.2})
+		for i := 0; i < msgs; i++ {
+			if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+				t.Fatalf("send %d: %v", i, err)
+			}
+		}
+		n.Close()
+		return got.Load(), stats.Get(sim.CtrFaultDrops)
+	}
+	d1, drop1 := run()
+	d2, drop2 := run()
+	if drop1 == 0 || d1+drop1 != msgs {
+		t.Fatalf("delivered %d + dropped %d != %d", d1, drop1, msgs)
+	}
+	if d1 != d2 || drop1 != drop2 {
+		t.Fatalf("fault decisions not deterministic: (%d,%d) vs (%d,%d)", d1, drop1, d2, drop2)
+	}
+}
+
+func TestFaultDuplicateDelivers(t *testing.T) {
+	n, stats, got := faultNet(t, &FaultPlan{Seed: 3, DupProb: 0.5})
+	const msgs = 200
+	for i := 0; i < msgs; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Close()
+	dups := stats.Get(sim.CtrFaultDups)
+	if dups == 0 {
+		t.Fatal("no duplicates injected")
+	}
+	if got.Load() != msgs+dups {
+		t.Fatalf("delivered %d, want %d originals + %d dups", got.Load(), msgs, dups)
+	}
+}
+
+func TestFaultDelayReordersWithinPath(t *testing.T) {
+	stats := sim.NewStats()
+	n := NewNetwork(sim.CostTable{}, stats, 1, 42)
+	cpu := sim.NewResource("cpu", sim.CostTable{})
+	var mu sync.Mutex
+	var order []int
+	if err := n.Register("a", cpu, func(Message) {}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Register("b", cpu, func(m Message) {
+		mu.Lock()
+		order = append(order, m.Payload.(int))
+		mu.Unlock()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Delay every other message long enough that the next FIFO message
+	// overtakes it.
+	n.InjectFaults(FaultPlan{Seed: 1, DelayProb: 0.5, Delay: 20 * time.Millisecond})
+	const msgs = 60
+	for i := 0; i < msgs; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Kind: "k", Payload: i}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Close()
+	if len(order) != msgs {
+		t.Fatalf("delivered %d, want %d (delay must not lose messages)", len(order), msgs)
+	}
+	if stats.Get(sim.CtrFaultDelays) == 0 {
+		t.Fatal("no delays injected")
+	}
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("delayed messages were not reordered")
+	}
+}
+
+func TestPartitionWindowAndRuntimePartition(t *testing.T) {
+	// Declarative window: drop link messages 0..9.
+	n, stats, got := faultNet(t, &FaultPlan{Seed: 1, Partitions: []Partition{{From: "a", To: "b", FromMsg: 0, ToMsg: 10}}})
+	for i := 0; i < 20; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < 10 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if got.Load() != 10 {
+		t.Fatalf("delivered %d through a 10-message partition window, want 10", got.Load())
+	}
+	if stats.Get(sim.CtrFaultDrops) != 10 {
+		t.Fatalf("fault_drops = %d, want 10", stats.Get(sim.CtrFaultDrops))
+	}
+
+	// Runtime partition on top: everything drops until healed.
+	n.PartitionLink("a", "b")
+	for i := 0; i < 5; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.HealLink("a", "b")
+	if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if got.Load() != 11 {
+		t.Fatalf("delivered %d after heal, want 11", got.Load())
+	}
+}
+
+func TestCrashRefusesTrafficBothWays(t *testing.T) {
+	n, stats, got := faultNet(t, nil)
+	if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for got.Load() < 1 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if !n.Crash("b") {
+		t.Fatal("first Crash returned false")
+	}
+	if n.Crash("b") {
+		t.Fatal("second Crash returned true")
+	}
+	if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send to crashed peer: %v, want ErrPeerDown", err)
+	}
+	if err := n.Send(Message{From: "b", To: "a", Kind: "k"}, 0); !errors.Is(err, ErrPeerDown) {
+		t.Fatalf("send from crashed peer: %v, want ErrPeerDown", err)
+	}
+	if !n.Crashed("b") || n.Crashed("a") {
+		t.Fatal("Crashed() reports wrong state")
+	}
+	n.Close()
+	if got.Load() != 1 {
+		t.Fatalf("crashed peer handled %d messages, want 1 (pre-crash only)", got.Load())
+	}
+	if stats.Get(sim.CtrCrashDrops) != 2 {
+		t.Fatalf("crash_drops = %d, want 2", stats.Get(sim.CtrCrashDrops))
+	}
+}
+
+func TestNoFaultStateZeroImpact(t *testing.T) {
+	n, stats, got := faultNet(t, nil)
+	for i := 0; i < 100; i++ {
+		if err := n.Send(Message{From: "a", To: "b", Kind: "k"}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Close()
+	if got.Load() != 100 {
+		t.Fatalf("delivered %d, want 100", got.Load())
+	}
+	for _, ctr := range []string{sim.CtrFaultDrops, sim.CtrFaultDups, sim.CtrFaultDelays, sim.CtrCrashDrops} {
+		if v := stats.Get(ctr); v != 0 {
+			t.Fatalf("%s = %d without faults", ctr, v)
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptivecc/internal/sim"
@@ -52,6 +53,11 @@ type Network struct {
 	rngMu     sync.Mutex
 	deliverWG sync.WaitGroup
 	stopCh    chan struct{} // closed by Close; unblocks senders and pumps
+
+	// faults is nil until InjectFaults/Crash/PartitionLink first installs
+	// fault machinery; the send and delivery paths load it once per message
+	// and skip all fault logic when it is nil.
+	faults atomic.Pointer[faultState]
 
 	mu     sync.Mutex
 	nodes  map[string]*node
@@ -152,6 +158,12 @@ func (n *Network) pump(p *path, dst *node) {
 		n.deliverWG.Add(1)
 		go func(m Message) {
 			defer n.deliverWG.Done()
+			if fs := n.faults.Load(); fs != nil && fs.isCrashed(m.To) {
+				// The destination died while the message was on the wire: a
+				// dead peer processes nothing.
+				n.stats.Inc(sim.CtrCrashDrops)
+				return
+			}
 			cost := n.costs.MsgCPU
 			if m.CarriesPage {
 				cost += n.costs.PerPageExtra
@@ -192,6 +204,12 @@ func (n *Network) Send(msg Message, pathHint int) error {
 		return err
 	}
 
+	fs := n.faults.Load()
+	if fs != nil && (fs.isCrashed(msg.From) || fs.isCrashed(msg.To)) {
+		n.stats.Inc(sim.CtrCrashDrops)
+		return fmt.Errorf("%w: %s->%s", ErrPeerDown, msg.From, msg.To)
+	}
+
 	n.mu.Lock()
 	sender := n.nodes[msg.From]
 	n.mu.Unlock()
@@ -200,6 +218,29 @@ func (n *Network) Send(msg Message, pathHint int) error {
 		cost += n.costs.PerPageExtra
 	}
 	sender.cpu.Use(cost)
+
+	action := actDeliver
+	var extraDelay time.Duration
+	if fs != nil {
+		action, extraDelay = fs.decide(linkKey{msg.From, msg.To})
+	}
+	switch action {
+	case actDrop:
+		// Silent loss: the sender believes the message is on its way.
+		n.stats.Inc(sim.CtrFaultDrops)
+		return nil
+	case actDelay:
+		// Deliver outside the path FIFO after extra latency — the reorder
+		// fault. The message is accepted (counted sent) before Send returns
+		// so Close's drain guarantee still holds.
+		n.stats.Inc(sim.CtrFaultDelays)
+		n.stats.Inc(sim.CtrMessages)
+		if msg.CarriesPage {
+			n.stats.Inc(sim.CtrPageTransfers)
+		}
+		n.deliverDirect(msg, extraDelay)
+		return nil
+	}
 
 	idx := pathHint
 	if idx < 0 || idx >= len(ps) {
@@ -213,11 +254,55 @@ func (n *Network) Send(msg Message, pathHint int) error {
 		if msg.CarriesPage {
 			n.stats.Inc(sim.CtrPageTransfers)
 		}
+		if action == actDup {
+			// Re-deliver the same message on the same path. Best-effort: a
+			// full path or a closing network forgoes the duplicate rather
+			// than blocking the sender a second time.
+			select {
+			case ps[idx].ch <- msg:
+				n.stats.Inc(sim.CtrFaultDups)
+				n.stats.Inc(sim.CtrMessages)
+				if msg.CarriesPage {
+					n.stats.Inc(sim.CtrPageTransfers)
+				}
+			default:
+			}
+		}
 		return nil
 	case <-n.stopCh:
 		n.stats.Inc(sim.CtrNetDrops)
 		return fmt.Errorf("%w: %s->%s dropped", ErrClosed, msg.From, msg.To)
 	}
+}
+
+// deliverDirect hands msg to its destination after the wire latency plus
+// extra, bypassing the path FIFOs (used by the delay/reorder fault). The
+// delivery is registered with deliverWG before returning so Close waits
+// for it; a close during the sleep delivers immediately (accepted messages
+// are delivered, not dropped).
+func (n *Network) deliverDirect(msg Message, extra time.Duration) {
+	n.mu.Lock()
+	dst := n.nodes[msg.To]
+	n.mu.Unlock()
+	n.deliverWG.Add(1)
+	go func() {
+		defer n.deliverWG.Done()
+		wait := n.costs.Scaled(n.costs.MsgLatency) + extra
+		select {
+		case <-time.After(wait):
+		case <-n.stopCh:
+		}
+		if fs := n.faults.Load(); fs != nil && fs.isCrashed(msg.To) {
+			n.stats.Inc(sim.CtrCrashDrops)
+			return
+		}
+		cost := n.costs.MsgCPU
+		if msg.CarriesPage {
+			cost += n.costs.PerPageExtra
+		}
+		dst.cpu.Use(cost)
+		dst.handler(msg)
+	}()
 }
 
 // Close shuts the network down: no further sends are accepted, messages

@@ -1,0 +1,204 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/storage"
+)
+
+func obj(page uint32, slot uint16) storage.ItemID {
+	return storage.ObjectItem(1, 1, page, slot)
+}
+
+func txid(site string, seq uint64) lock.TxID { return lock.TxID{Site: site, Seq: seq} }
+
+func upd(lsn uint64, t lock.TxID, o storage.ItemID, before, after string) Record {
+	return Record{LSN: lsn, Tx: t, Object: o, Before: []byte(before), After: []byte(after)}
+}
+
+func TestReplayCommitAbortLoser(t *testing.T) {
+	im := NewLogImage()
+	winner, aborted, loser := txid("p1", 1), txid("p2", 1), txid("p3", 9)
+	im.AppendUpdate(upd(1, winner, obj(1, 0), "a0", "a1"))
+	im.AppendUpdate(upd(2, aborted, obj(1, 1), "b0", "b1"))
+	im.AppendUpdate(upd(3, loser, obj(2, 0), "c0", "c1"))
+	im.AppendCommit(winner)
+	im.AppendAbort(aborted)
+	// loser: crash before any decision record.
+
+	res, err := Replay(im.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Truncated {
+		t.Fatal("clean image reported truncated")
+	}
+	if got := res.State[obj(1, 0)]; !bytes.Equal(got, []byte("a1")) {
+		t.Fatalf("winner update = %q, want a1", got)
+	}
+	if _, ok := res.State[obj(1, 1)]; ok {
+		t.Fatal("aborted update applied")
+	}
+	if _, ok := res.State[obj(2, 0)]; ok {
+		t.Fatal("loser update applied")
+	}
+	if len(res.Losers) != 1 || res.Losers[0] != loser {
+		t.Fatalf("losers = %v, want [%v]", res.Losers, loser)
+	}
+	if res.MaxLSN != 3 {
+		t.Fatalf("MaxLSN = %d, want 3", res.MaxLSN)
+	}
+}
+
+// A torn tail — the final frame half-written when the machine died — must
+// stop the scan cleanly, keeping everything before it. Every truncation
+// point inside the last frame must behave identically.
+func TestReplayTornTail(t *testing.T) {
+	im := NewLogImage()
+	w := txid("p1", 1)
+	im.AppendUpdate(upd(1, w, obj(1, 0), "x0", "x1"))
+	im.AppendCommit(w)
+	whole := len(im.Bytes())
+	im.AppendUpdate(upd(2, txid("p1", 2), obj(1, 1), "y0", "y1"))
+	full := im.Bytes()
+
+	for cut := whole + 1; cut < len(full); cut++ {
+		res, err := Replay(full[:cut])
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if !res.Truncated {
+			t.Fatalf("cut %d: torn tail not detected", cut)
+		}
+		if got := res.State[obj(1, 0)]; !bytes.Equal(got, []byte("x1")) {
+			t.Fatalf("cut %d: committed state lost: %q", cut, got)
+		}
+		if len(res.State) != 1 || len(res.Losers) != 0 {
+			t.Fatalf("cut %d: state=%v losers=%v", cut, res.State, res.Losers)
+		}
+	}
+
+	// Corrupt the CRC of the last frame (bit flip on disk): same outcome.
+	img := append([]byte(nil), full...)
+	img[len(img)-1] ^= 0xff
+	res, err := Replay(img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Truncated || len(res.State) != 1 {
+		t.Fatalf("crc corruption: truncated=%v state=%v", res.Truncated, res.State)
+	}
+}
+
+// A retried prepare can append the same records twice (the dedup table at
+// the live server is bounded, and a crash forgets it entirely): replay must
+// apply each LSN once.
+func TestReplayDuplicateLSN(t *testing.T) {
+	im := NewLogImage()
+	w := txid("p1", 1)
+	rec := upd(1, w, obj(1, 0), "old", "new")
+	im.AppendUpdate(rec)
+	im.AppendUpdate(rec) // re-delivered
+	im.AppendUpdate(upd(2, w, obj(1, 1), "o2", "n2"))
+	im.AppendCommit(w)
+	im.AppendCommit(w) // re-delivered finish
+
+	res, err := Replay(im.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DupLSNs != 1 {
+		t.Fatalf("DupLSNs = %d, want 1", res.DupLSNs)
+	}
+	if got := res.State[obj(1, 0)]; !bytes.Equal(got, []byte("new")) {
+		t.Fatalf("state = %q, want new", got)
+	}
+	if len(res.State) != 2 {
+		t.Fatalf("state size = %d, want 2", len(res.State))
+	}
+}
+
+// A crash between checkpoint-begin and checkpoint-end leaves an unmatched
+// begin: replay must fall back to the previous complete checkpoint and
+// still see every update after it.
+func TestReplayMidCheckpointCrash(t *testing.T) {
+	im := NewLogImage()
+	t1 := txid("p1", 1)
+	im.AppendUpdate(upd(1, t1, obj(1, 0), "", "v1"))
+	im.AppendCommit(t1)
+
+	// Complete checkpoint capturing the committed state.
+	im.BeginCheckpoint(1)
+	im.EndCheckpoint(1, map[storage.ItemID][]byte{obj(1, 0): []byte("v1")})
+
+	t2 := txid("p1", 2)
+	im.AppendUpdate(upd(2, t2, obj(1, 1), "", "v2"))
+	im.AppendCommit(t2)
+
+	// Crash mid-checkpoint: begin written, end never made it.
+	im.BeginCheckpoint(2)
+
+	res, err := Replay(im.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint != 1 {
+		t.Fatalf("replay started from checkpoint %d, want 1", res.Checkpoint)
+	}
+	if got := res.State[obj(1, 0)]; !bytes.Equal(got, []byte("v1")) {
+		t.Fatalf("checkpointed state = %q, want v1", got)
+	}
+	if got := res.State[obj(1, 1)]; !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("post-checkpoint update = %q, want v2", got)
+	}
+
+	// Sanity: with the end present, replay starts from checkpoint 2.
+	im.EndCheckpoint(2, map[storage.ItemID][]byte{
+		obj(1, 0): []byte("v1"), obj(1, 1): []byte("v2"),
+	})
+	t3 := txid("p1", 3)
+	im.AppendUpdate(upd(3, t3, obj(2, 0), "", "v3"))
+	im.AppendCommit(t3)
+	res, err = Replay(im.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint != 2 {
+		t.Fatalf("replay started from checkpoint %d, want 2", res.Checkpoint)
+	}
+	if len(res.State) != 3 {
+		t.Fatalf("state = %v, want 3 objects", res.State)
+	}
+}
+
+// StableLog integration: with the image enabled, the live log's appends,
+// commits, and aborts produce a replayable image.
+func TestStableLogImageRoundTrip(t *testing.T) {
+	l := NewStableLog(nil)
+	l.EnableImage()
+	w, a := txid("p1", 1), txid("p2", 7)
+	l.Append([]Record{
+		{Tx: w, Object: obj(1, 0), Before: []byte("b"), After: []byte("w1")},
+		{Tx: a, Object: obj(1, 1), Before: []byte("b"), After: []byte("a1")},
+	})
+	l.Commit(w)
+	l.Abort(a)
+	l.Checkpoint(map[storage.ItemID][]byte{obj(1, 0): []byte("w1")})
+	l.Append([]Record{{Tx: txid("p3", 1), Object: obj(2, 0), After: []byte("l1")}})
+
+	res, err := Replay(l.ImageBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Checkpoint != 1 {
+		t.Fatalf("checkpoint = %d, want 1", res.Checkpoint)
+	}
+	if got := res.State[obj(1, 0)]; !bytes.Equal(got, []byte("w1")) {
+		t.Fatalf("state = %q, want w1", got)
+	}
+	if len(res.Losers) != 1 || res.Losers[0] != (lock.TxID{Site: "p3", Seq: 1}) {
+		t.Fatalf("losers = %v", res.Losers)
+	}
+}

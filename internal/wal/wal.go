@@ -99,10 +99,12 @@ func (c *Cache) Pending(tx lock.TxID) int {
 type StableLog struct {
 	disk *storage.Disk
 
-	mu      sync.Mutex
-	nextLSN uint64
-	active  map[lock.TxID][]Record // shipped but not yet committed/aborted
-	size    int
+	mu       sync.Mutex
+	nextLSN  uint64
+	active   map[lock.TxID][]Record // shipped but not yet committed/aborted
+	size     int
+	img      *LogImage // serialized image of the log disk; nil unless enabled
+	nextCkpt uint64
 }
 
 // NewStableLog returns an empty stable log writing to disk.
@@ -123,6 +125,9 @@ func (l *StableLog) Append(recs []Record) []Record {
 		l.nextLSN++
 		out[i] = r
 		l.active[r.Tx] = append(l.active[r.Tx], r)
+		if l.img != nil {
+			l.img.AppendUpdate(r)
+		}
 	}
 	l.size += len(recs)
 	l.mu.Unlock()
@@ -137,6 +142,9 @@ func (l *StableLog) Append(recs []Record) []Record {
 func (l *StableLog) Commit(tx lock.TxID) {
 	l.mu.Lock()
 	delete(l.active, tx)
+	if l.img != nil {
+		l.img.AppendCommit(tx)
+	}
 	l.mu.Unlock()
 	if l.disk != nil {
 		l.disk.Write()
@@ -149,10 +157,61 @@ func (l *StableLog) Abort(tx lock.TxID) []Record {
 	l.mu.Lock()
 	recs := l.active[tx]
 	delete(l.active, tx)
+	if l.img != nil && len(recs) > 0 {
+		l.img.AppendAbort(tx)
+	}
 	l.mu.Unlock()
 	out := make([]Record, 0, len(recs))
 	for i := len(recs) - 1; i >= 0; i-- {
 		out = append(out, recs[i])
+	}
+	return out
+}
+
+// EnableImage turns on the serialized log image (see replay.go). Off by
+// default: the image grows with the log, so only crash-recovery tests and
+// scenarios pay for it.
+func (l *StableLog) EnableImage() {
+	l.mu.Lock()
+	if l.img == nil {
+		l.img = NewLogImage()
+	}
+	l.mu.Unlock()
+}
+
+// ImageBytes returns a copy of the serialized log image (nil if disabled).
+func (l *StableLog) ImageBytes() []byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.img == nil {
+		return nil
+	}
+	return append([]byte(nil), l.img.Bytes()...)
+}
+
+// Checkpoint writes a copy-checkpoint of the given committed state into the
+// image (no-op if the image is disabled), returning the checkpoint id.
+func (l *StableLog) Checkpoint(state map[storage.ItemID][]byte) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.img == nil {
+		return 0
+	}
+	l.nextCkpt++
+	l.img.BeginCheckpoint(l.nextCkpt)
+	l.img.EndCheckpoint(l.nextCkpt, state)
+	return l.nextCkpt
+}
+
+// ActiveTxs lists the transactions with shipped-but-undecided records.
+// Crash reclamation scans it for transactions homed at a dead peer, whose
+// fate is presumed abort.
+func (l *StableLog) ActiveTxs() []lock.TxID {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]lock.TxID, 0, len(l.active))
+	for tx := range l.active {
+		out = append(out, tx)
 	}
 	return out
 }

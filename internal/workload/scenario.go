@@ -1,0 +1,72 @@
+package workload
+
+import (
+	"sort"
+	"time"
+)
+
+// EventKind classifies a scripted fault event.
+type EventKind int
+
+// The fault events a scenario can script.
+const (
+	// EventCrash kills a peer: the fabric refuses its traffic and every
+	// survivor reclaims its locks, copies, and undecided transactions.
+	EventCrash EventKind = iota + 1
+	// EventPartition silently drops all messages on one directed link.
+	EventPartition
+	// EventHeal restores a previously partitioned link.
+	EventHeal
+)
+
+// String renders the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventCrash:
+		return "crash"
+	case EventPartition:
+		return "partition"
+	case EventHeal:
+		return "heal"
+	default:
+		return "event?"
+	}
+}
+
+// Event is one scripted fault, fired At after the measurement window opens.
+type Event struct {
+	At   time.Duration
+	Kind EventKind
+	Peer string // EventCrash: the peer to kill
+	From string // EventPartition/EventHeal: directed link source
+	To   string // EventPartition/EventHeal: directed link destination
+}
+
+// Scenario scripts faults against a running experiment. Events fire
+// relative to the start of the measurement window, in At order.
+type Scenario struct {
+	Events []Event
+}
+
+// CrashAt scripts the death of peer at offset at.
+func CrashAt(at time.Duration, peer string) Event {
+	return Event{At: at, Kind: EventCrash, Peer: peer}
+}
+
+// PartitionAt scripts a one-way partition of from->to at offset at.
+func PartitionAt(at time.Duration, from, to string) Event {
+	return Event{At: at, Kind: EventPartition, From: from, To: to}
+}
+
+// HealAt scripts the healing of the from->to link at offset at.
+func HealAt(at time.Duration, from, to string) Event {
+	return Event{At: at, Kind: EventHeal, From: from, To: to}
+}
+
+// Sorted returns the events in firing order without mutating the scenario.
+func (s *Scenario) Sorted() []Event {
+	out := make([]Event, len(s.Events))
+	copy(out, s.Events)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
