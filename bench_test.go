@@ -76,6 +76,42 @@ func BenchmarkTable2WorkloadConfig(b *testing.B) {
 }
 
 func BenchmarkFig06HotColdCSLowLocality(b *testing.B)    { benchmarkFigure(b, 6) }
+
+// BenchmarkFig06Observed reruns Figure 6 with the observability subsystem
+// on, reporting lock-wait and callback-round latency percentiles (in paper
+// milliseconds) alongside throughput. bench.sh picks it up via the
+// 'BenchmarkFig06' pattern, so BENCH reports carry the percentile metrics
+// that cmd/benchdiff renders informationally.
+func BenchmarkFig06Observed(b *testing.B) {
+	fig, ok := harness.FigureByNumber(6)
+	if !ok {
+		b.Fatal("no figure 6")
+	}
+	fig.WriteProbs = []float64{0.2}
+	plat := benchPlatform()
+	plat.Observe = true
+	for i := 0; i < b.N; i++ {
+		res, err := harness.RunFigure(fig, plat, 300*time.Millisecond, 1500*time.Millisecond, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == b.N-1 {
+			b.Log("\n" + res.Render())
+			ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+			for _, s := range res.Series {
+				for _, pt := range s.Points {
+					if !pt.Observed {
+						b.Fatal("Platform.Observe set but point not observed")
+					}
+					b.ReportMetric(ms(pt.LockWaitP50), fmt.Sprintf("p50-lockwait-ms:%s", s.Protocol))
+					b.ReportMetric(ms(pt.LockWaitP99), fmt.Sprintf("p99-lockwait-ms:%s", s.Protocol))
+					b.ReportMetric(ms(pt.CallbackP50), fmt.Sprintf("p50-callback-ms:%s", s.Protocol))
+					b.ReportMetric(ms(pt.CallbackP99), fmt.Sprintf("p99-callback-ms:%s", s.Protocol))
+				}
+			}
+		}
+	}
+}
 func BenchmarkFig07HotColdCSHighLocality(b *testing.B)   { benchmarkFigure(b, 7) }
 func BenchmarkFig08UniformCSLowLocality(b *testing.B)    { benchmarkFigure(b, 8) }
 func BenchmarkFig09UniformCSHighLocality(b *testing.B)   { benchmarkFigure(b, 9) }

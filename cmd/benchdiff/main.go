@@ -145,11 +145,18 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "  %-5s %-40s %s %.4g -> %.4g (%+.1f%%)\n",
 			status, name, *metric, ov, nv, delta*100)
 	}
+	gone := make([]string, 0)
 	for name := range oldBy {
 		if _, ok := newBy[name]; !ok {
-			fmt.Fprintf(out, "  GONE  %s\n", name)
+			gone = append(gone, name)
 		}
 	}
+	sort.Strings(gone)
+	for _, name := range gone {
+		fmt.Fprintf(out, "  GONE  %s\n", name)
+	}
+
+	printPercentiles(out, names, oldBy, newBy)
 
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
@@ -157,6 +164,54 @@ func run(args []string, out *os.File) error {
 	}
 	fmt.Fprintf(out, "\nno regression beyond %.0f%%\n", *threshold*100)
 	return nil
+}
+
+// printPercentiles reports latency percentile metrics (names like
+// "p50-lockwait-ms") carried by observability benchmarks. The section is
+// informational — percentiles on shared runners are too noisy to gate on —
+// and appears only when both reports carry a percentile for the same
+// benchmark, so diffs of reports without them render exactly as before.
+func printPercentiles(out *os.File, names []string, oldBy, newBy map[string]benchEntry) {
+	header := false
+	for _, name := range names {
+		ob, ok := oldBy[name]
+		if !ok {
+			continue
+		}
+		nb := newBy[name]
+		keys := make([]string, 0)
+		for k := range nb.Metrics {
+			if !isPercentileMetric(k) {
+				continue
+			}
+			if _, both := ob.Metrics[k]; both {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		sort.Strings(keys)
+		if !header {
+			fmt.Fprintf(out, "\nlatency percentiles (informational):\n")
+			header = true
+		}
+		for _, k := range keys {
+			fmt.Fprintf(out, "  info  %-40s %s %.4g -> %.4g\n", name, k, ob.Metrics[k], nb.Metrics[k])
+		}
+	}
+}
+
+// isPercentileMetric matches metric names of the form pNN-...
+func isPercentileMetric(k string) bool {
+	if len(k) < 2 || k[0] != 'p' {
+		return false
+	}
+	i := 1
+	for i < len(k) && k[i] >= '0' && k[i] <= '9' {
+		i++
+	}
+	return i > 1 && i < len(k) && k[i] == '-'
 }
 
 func joinLines(lines []string) string {

@@ -85,6 +85,81 @@ func TestRealReportParses(t *testing.T) {
 	}
 }
 
+// runCaptured runs benchdiff with output captured to a temp file.
+func runCaptured(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	runErr := run(args, f)
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data), runErr
+}
+
+func TestPercentileSectionRendered(t *testing.T) {
+	oldPath := writeReport(t, "old.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 100, "p50-lockwait-ms": 1.5, "p99-lockwait-ms": 12}
+	  ]
+	}`)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 105, "p50-lockwait-ms": 1.8, "p99-lockwait-ms": 14}
+	  ]
+	}`)
+	out, err := runCaptured(t, []string{oldPath, newPath})
+	if err != nil {
+		t.Fatalf("informational percentiles must not gate: %v", err)
+	}
+	if !strings.Contains(out, "latency percentiles") {
+		t.Errorf("percentile section missing:\n%s", out)
+	}
+	if !strings.Contains(out, "p50-lockwait-ms 1.5 -> 1.8") {
+		t.Errorf("p50 values not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "p99-lockwait-ms 12 -> 14") {
+		t.Errorf("p99 values not reported:\n%s", out)
+	}
+}
+
+func TestPercentileSectionDegradesGracefully(t *testing.T) {
+	// Percentiles only in the new report (or absent entirely) must not
+	// produce the section, keeping plain diffs identical to before.
+	oldPath := writeReport(t, "old.json", oldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkA", "iterations": 1000, "ns/op": 100, "p50-lockwait-ms": 1.5}
+	  ]
+	}`)
+	out, err := runCaptured(t, []string{oldPath, newPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out, "latency percentiles") {
+		t.Errorf("one-sided percentiles rendered a section:\n%s", out)
+	}
+}
+
+func TestIsPercentileMetric(t *testing.T) {
+	yes := []string{"p50-lockwait-ms", "p99-callback-ms", "p90-x"}
+	no := []string{"ns/op", "tps:fig6", "p-lockwait", "p50", "pages/op", "B/op"}
+	for _, k := range yes {
+		if !isPercentileMetric(k) {
+			t.Errorf("%q should be a percentile metric", k)
+		}
+	}
+	for _, k := range no {
+		if isPercentileMetric(k) {
+			t.Errorf("%q should not be a percentile metric", k)
+		}
+	}
+}
+
 func TestBadUsage(t *testing.T) {
 	if err := run([]string{"only-one.json"}, os.Stdout); err == nil {
 		t.Error("single argument accepted")

@@ -9,17 +9,23 @@
 //	shorebench -fig 6                    # reproduce one figure
 //	shorebench -all                      # reproduce all ten figures
 //	shorebench -fig 6 -scale 0.25 -measure 20s -small
+//	shorebench -fig 6 -obs               # add latency percentile tables
+//	shorebench -fig 6 -traceout t.json   # write a Chrome/Perfetto trace
+//	shorebench -all -metrics :8377       # live expvar + Prometheus surface
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"time"
 
 	"adaptivecc/internal/harness"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/transport"
 )
 
@@ -44,6 +50,9 @@ func run(args []string) error {
 		dropRate   = fs.Float64("droprate", 0, "message drop probability (0 = reliable fabric, the paper's setting)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		obsOn      = fs.Bool("obs", false, "enable observability: latency histograms and percentile tables")
+		metricsAt  = fs.String("metrics", "", "serve live metrics at this address (/metrics Prometheus text, /debug/vars expvar); implies -obs")
+		traceOut   = fs.String("traceout", "", "write a Chrome trace-event JSON file of the run (open in Perfetto); implies -obs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -81,6 +90,24 @@ func run(args []string) error {
 	if *scale > 0 {
 		plat.TimeScale = *scale
 	}
+	if *metricsAt != "" || *traceOut != "" {
+		*obsOn = true
+	}
+	plat.Observe = *obsOn
+
+	if *metricsAt != "" {
+		obs.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		srv := &http.Server{Addr: *metricsAt, Handler: mux}
+		go func() {
+			if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "shorebench: metrics server:", err)
+			}
+		}()
+		fmt.Printf("metrics at http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", *metricsAt)
+	}
 
 	if *listConfig {
 		fmt.Print(harness.RenderTable1(plat))
@@ -108,6 +135,7 @@ func run(args []string) error {
 	if *quiet {
 		progress = nil
 	}
+	var trace []obs.Event
 	for _, fig := range figs {
 		if *dropRate > 0 {
 			fig.Faults = &transport.FaultPlan{Seed: plat.Seed, DropProb: *dropRate}
@@ -123,6 +151,26 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(res.Render())
 		fmt.Printf("expected shape: %s\n\n", fig.Expectation)
+		if *traceOut != "" {
+			for _, ev := range res.Trace {
+				ev.Site = fmt.Sprintf("fig%d/%s", fig.Number, ev.Site)
+				trace = append(trace, ev)
+			}
+		}
+	}
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("traceout: %w", err)
+		}
+		if err := obs.WriteChromeTrace(f, trace); err != nil {
+			f.Close()
+			return fmt.Errorf("traceout: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("traceout: %w", err)
+		}
+		fmt.Printf("wrote %d trace events to %s (open in https://ui.perfetto.dev)\n", len(trace), *traceOut)
 	}
 	return nil
 }

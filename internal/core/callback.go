@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -158,8 +159,16 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 	p.registerOp(op)
 	defer p.unregisterOp(op)
 
+	var roundStart time.Time
+	if p.obs.Active() {
+		roundStart = time.Now()
+		defer func() { p.obs.Observe(obs.HistCallbackRound, time.Since(roundStart)) }()
+	}
 	for c := range clients {
 		p.stats.Inc(sim.CtrCallbacks)
+		if p.obs.Active() {
+			p.obs.Emit(obs.EvCallbackSent, txid.String(), item.String(), 0, "to "+c)
+		}
 		_ = p.sys.net.Send(transport.Message{
 			From: p.name, To: c, Kind: kindCallback,
 			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID},
@@ -206,7 +215,16 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 				if !op.clearWaiting(ev.ack.Client) {
 					break // duplicate delivery (or raced a crash's synthetic ack)
 				}
-				tracef("op%d ack from %s invalidated=%v", op.id, ev.ack.Client, ev.ack.Invalidated)
+				if debugOn() {
+					debugLog("callback ack", "op", op.id, "client", ev.ack.Client, "invalidated", ev.ack.Invalidated)
+				}
+				if p.obs.Active() {
+					note := "from " + ev.ack.Client
+					if ev.ack.Invalidated {
+						note += " invalidated"
+					}
+					p.obs.Emit(obs.EvCallbackAcked, txid.String(), item.String(), 0, note)
+				}
 				pendingAcks--
 				if ev.ack.Invalidated {
 					// The removal is guarded by the install count recorded
@@ -223,6 +241,9 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 				}
 				blockedSeen[k] = true
 				downgraded = true
+				if p.obs.Active() {
+					p.obs.Emit(obs.EvCallbackBlocked, txid.String(), ev.blocked.Item.String(), 0, "at "+ev.blocked.Client)
+				}
 				p.handleBlocked(op, ev.blocked, convCh, &convOut)
 			}
 		case cerr := <-convCh:
@@ -463,7 +484,9 @@ func (p *Peer) handleCallback(rq callbackReq) {
 // purgeWholePage drops the page from the client cache under an EX page
 // lock, handling the pending-read race.
 func (p *Peer) purgeWholePage(rq callbackReq, page storage.ItemID, pageLevel bool) {
-	tracef("%s purgeWholePage %v op%d", p.name, page, rq.OpID)
+	if debugOn() {
+		debugLog("purge whole page", "site", p.name, "page", page.String(), "op", rq.OpID)
+	}
 	p.cs.mu.Lock()
 	invalidated := true
 	if p.cs.hasPendingReadLocked(page) {

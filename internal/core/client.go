@@ -3,9 +3,11 @@ package core
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"adaptivecc/internal/buffer"
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/tx"
@@ -165,7 +167,10 @@ func (t *Tx) applyPageReply(pageID storage.ItemID, page *storage.Page, avail sto
 	}
 	var evs []buffer.Eviction
 	if page != nil {
-		tracef("%s merge %v avail=%x veto=%x", p.name, pageID, avail, veto)
+		if debugOn() {
+			debugLog("merge page", "site", p.name, "page", pageID.String(),
+				"avail", uint64(avail), "veto", uint64(veto))
+		}
 		evs = p.pool.Merge(pageID, page, avail, veto)
 		p.cs.setInstallLocked(pageID, install)
 	}
@@ -390,6 +395,9 @@ func (t *Tx) LockItem(item storage.ItemID, mode lock.Mode) error {
 		return fmt.Errorf("core: object locks are implicit; use Read/Write")
 	}
 	p := t.p
+	if p.obs.Active() {
+		p.obs.Emit(obs.EvLockRequest, t.id.String(), item.String(), 0, mode.String())
+	}
 	if err := p.locks.Lock(t.id, item, mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
 		return err
 	}
@@ -467,6 +475,10 @@ func (t *Tx) Commit() error {
 	p := t.p
 	if err := t.inner.BeginCommit(); err != nil {
 		return err
+	}
+	if p.obs.Active() {
+		start := time.Now()
+		defer func() { p.obs.Observe(obs.HistCommit, time.Since(start)) }()
 	}
 	recs := p.logCache.Take(t.id)
 	byOwner := make(map[string][]wal.Record)

@@ -55,7 +55,9 @@ func (ct *copyTable) addCopy(page storage.ItemID, client string) uint64 {
 		fc[client]++
 	}
 	pc.clients[client] = pc.ships
-	tracef("ct.add %v -> %s (install %d)", page, client, pc.ships)
+	if debugOn() {
+		debugLog("copytable add", "page", page.String(), "client", client, "install", pc.ships)
+	}
 	return pc.ships
 }
 
@@ -80,7 +82,9 @@ func (ct *copyTable) removeCopy(page storage.ItemID, client string, install uint
 	// The entry is kept even with no clients so that the ship counter
 	// survives (it is an epoch, compared across callback rounds).
 	delete(pc.clients, client)
-	tracef("ct.remove %v -> %s (install %d, had %d)", page, client, install, got)
+	if debugOn() {
+		debugLog("copytable remove", "page", page.String(), "client", client, "install", install, "had", got)
+	}
 	f := fileOf(page)
 	if fc, ok := ct.files[f]; ok {
 		fc[client]--

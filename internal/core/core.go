@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"time"
 
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -129,6 +130,11 @@ type Config struct {
 	// timeout instead of hanging. Default 4×RPCTimeout when RPCTimeout is
 	// enabled; zero disables.
 	CallbackTimeout time.Duration
+
+	// Obs enables the observability subsystem (latency histograms, trace
+	// rings, metrics registration). The zero value keeps it off: no
+	// registries exist and every instrumentation site is a nil check.
+	Obs obs.Config
 }
 
 // resilient reports whether the request/reply resilience discipline
@@ -178,6 +184,10 @@ func (c Config) withDefaults() Config {
 			c.CallbackTimeout = 4 * c.RPCTimeout
 		}
 	}
+	if c.Obs.Enabled && c.Obs.TimeScale == 0 {
+		// Histograms and trace timestamps report paper time by default.
+		c.Obs.TimeScale = c.Costs.Scale
+	}
 	return c
 }
 
@@ -190,6 +200,7 @@ type System struct {
 	dir    *storage.Directory
 	owners map[storage.VolumeID]string
 	peers  map[string]*Peer
+	obsSet *obs.Set // nil unless cfg.Obs.Enabled
 }
 
 // NewSystem builds an empty system. Timeouts default to enabled with the
@@ -202,7 +213,7 @@ func NewSystem(cfg Config) *System {
 	if cfg.Faults != nil {
 		net.InjectFaults(*cfg.Faults)
 	}
-	return &System{
+	s := &System{
 		cfg:    cfg,
 		stats:  stats,
 		net:    net,
@@ -210,6 +221,11 @@ func NewSystem(cfg Config) *System {
 		owners: make(map[storage.VolumeID]string),
 		peers:  make(map[string]*Peer),
 	}
+	if cfg.Obs.Enabled {
+		s.obsSet = obs.NewSet(cfg.Obs, stats)
+		obs.RegisterSet(s.obsSet, cfg.Protocol.String())
+	}
+	return s
 }
 
 // Stats exposes the shared counter set.
@@ -275,8 +291,18 @@ func (s *System) ownerOf(item storage.ItemID) (string, error) {
 	return owner, nil
 }
 
-// Close shuts the network down, draining in-flight messages.
-func (s *System) Close() { s.net.Close() }
+// Close shuts the network down, draining in-flight messages, and retires
+// the system from the metrics surface. The obs Set itself stays readable:
+// callers may still harvest histograms and trace events after Close.
+func (s *System) Close() {
+	s.net.Close()
+	if s.obsSet != nil {
+		obs.UnregisterSet(s.obsSet)
+	}
+}
+
+// Obs exposes the observability state (nil when disabled).
+func (s *System) Obs() *obs.Set { return s.obsSet }
 
 // Net exposes the transport fabric (fault injection, runtime partitions).
 func (s *System) Net() *transport.Network { return s.net }

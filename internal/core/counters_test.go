@@ -1,0 +1,422 @@
+// Counter-completeness tests: the sim.Stats counters are the repo's
+// primary observable (figure tables, fault-matrix assertions, the metrics
+// endpoint all read them), so a counter that nothing increments — or a
+// path that silently stopped incrementing one — should fail loudly here.
+//
+// Two halves:
+//   - a static check that every Ctr* constant declared in sim/stats.go is
+//     referenced by non-test protocol code (no dead counters), and
+//   - a runtime check that a battery of scenarios, taken together, drives
+//     every counter to a nonzero value (no unexercised counter paths).
+package core
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
+)
+
+// declaredCounters parses the Ctr* constant block of internal/sim/stats.go
+// into constant-name -> counter-string pairs. Parsing the source (rather
+// than listing the constants here) means a newly added counter is covered
+// by both halves automatically.
+func declaredCounters(t *testing.T) map[string]string {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("..", "sim", "stats.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	re := regexp.MustCompile(`(Ctr\w+)\s*=\s*"([^"]+)"`)
+	out := make(map[string]string)
+	for _, m := range re.FindAllStringSubmatch(string(src), -1) {
+		out[m[1]] = m[2]
+	}
+	if len(out) < 30 {
+		t.Fatalf("parsed only %d Ctr constants from sim/stats.go, expected the full canonical set", len(out))
+	}
+	return out
+}
+
+// TestEveryCounterReferencedByProtocolCode fails if a counter constant is
+// declared but never used outside sim/stats.go and the test files — i.e.
+// the implementation no longer increments it anywhere.
+func TestEveryCounterReferencedByProtocolCode(t *testing.T) {
+	consts := declaredCounters(t)
+	missing := make(map[string]bool, len(consts))
+	for name := range consts {
+		missing[name] = true
+	}
+
+	root := filepath.Join("..", "..")
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if d.Name() == ".git" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if filepath.Ext(name) != ".go" || len(name) > 8 && name[len(name)-8:] == "_test.go" {
+			return nil
+		}
+		if name == "stats.go" && filepath.Base(filepath.Dir(path)) == "sim" {
+			return nil
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		for c := range missing {
+			if regexp.MustCompile(`\b` + c + `\b`).Match(src) {
+				delete(missing, c)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range missing {
+		t.Errorf("counter constant %s (%q) is never referenced by protocol code", c, consts[c])
+	}
+}
+
+// waitForCounter polls until the named counter moves past min, failing the
+// test at the deadline. The scenarios below use it to sequence cross-peer
+// schedules on protocol-internal events.
+func waitForCounter(t *testing.T, stats *sim.Stats, name string, min int64, deadline time.Duration) {
+	t.Helper()
+	dl := time.Now().Add(deadline)
+	for stats.Get(name) < min {
+		if time.Now().After(dl) {
+			t.Fatalf("counter %s stuck at %d (< %d) after %v", name, stats.Get(name), min, deadline)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCounterCompleteness runs every scenario and asserts the union of
+// their counter snapshots has every declared counter nonzero.
+func TestCounterCompleteness(t *testing.T) {
+	union := make(map[string]int64)
+	add := func(s *sim.Stats) {
+		for k, v := range s.Snapshot() {
+			union[k] += v
+		}
+	}
+
+	scenarioGeneralWorkload(t, add)
+	scenarioCallbackDance(t, add)
+	scenarioRaces(t, add)
+	scenarioRedoAndEviction(t, add)
+	scenarioLockAborts(t, add)
+	scenarioMessageFaults(t, add)
+	scenarioCrash(t, add)
+	scenarioClosedNetwork(t, add)
+	scenarioWriteBackError(t, add)
+
+	for cname, counter := range declaredCounters(t) {
+		if union[counter] == 0 {
+			t.Errorf("counter %s (%s) not exercised by any scenario", counter, cname)
+		}
+	}
+}
+
+// scenarioGeneralWorkload covers the steady-state counters: reads, writes,
+// cache hits, adaptive page locks (grant, saved escalation, deescalation),
+// commit, abort, and the message/page/disk traffic underneath them.
+func scenarioGeneralWorkload(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 2, 10)
+	a, b := tc.clients[0], tc.clients[1]
+
+	x := a.Begin()
+	readVal(t, x, objID(0, 0))
+	mustCommit(t, x)
+
+	// Re-read in a fresh transaction: served from the retained local copy.
+	x = a.Begin()
+	readVal(t, x, objID(0, 0))
+	mustCommit(t, x)
+
+	// First write on an unused page gets the adaptive page lock; the
+	// second write on the same page rides it (a saved escalation).
+	ta := a.Begin()
+	writeVal(t, ta, objID(1, 0), "v0")
+	writeVal(t, ta, objID(1, 1), "v1")
+
+	// B touching a third object on the page while A's transaction is
+	// still active forces the server to deescalate A's adaptive lock.
+	tb := b.Begin()
+	readVal(t, tb, objID(1, 2))
+	mustCommit(t, tb)
+	mustCommit(t, ta)
+
+	// One explicit abort.
+	x = a.Begin()
+	writeVal(t, x, objID(2, 0), "doomed")
+	if err := x.Abort(); err != nil {
+		t.Fatalf("abort: %v", err)
+	}
+	add(tc.sys.Stats())
+}
+
+// scenarioCallbackDance drives the §4.2.2/§4.3.2 machinery: a callback
+// blocks on a reader's SH lock, the server downgrades and waits, a third
+// client sneaks a copy of the page in the window, and the ship-count
+// comparison forces an extra callback round when the first completes.
+func scenarioCallbackDance(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 3, 10)
+	a, b, c := tc.clients[0], tc.clients[1], tc.clients[2]
+	stats := tc.sys.Stats()
+
+	// Warm b's cache so its next SH lock is local-only.
+	warm := b.Begin()
+	readVal(t, warm, objID(1, 0))
+	mustCommit(t, warm)
+
+	tb := b.Begin()
+	readVal(t, tb, objID(1, 0))
+
+	aDone := make(chan error, 1)
+	go func() {
+		ta := a.Begin()
+		if err := ta.Write(objID(1, 0), []byte("new")); err != nil {
+			_ = ta.Abort()
+			aDone <- err
+			return
+		}
+		aDone <- ta.Commit()
+	}()
+
+	// Once b's callback thread reports blocked, the server is in the
+	// downgrade window; let c ship the page before b releases.
+	waitForCounter(t, stats, sim.CtrCallbackBlocked, 1, 5*time.Second)
+	tcx := c.Begin()
+	readVal(t, tcx, objID(1, 1))
+	mustCommit(t, tcx)
+
+	mustCommit(t, tb)
+	if err := <-aDone; err != nil {
+		t.Fatalf("a's write after b released: %v", err)
+	}
+	if stats.Get(sim.CtrCallbackRounds) == 0 {
+		t.Error("sneaked-in page ship did not force an extra callback round")
+	}
+	add(stats)
+}
+
+// scenarioRaces invokes the §4.2.4 race handlers white-box, the way
+// races_test.go does: a callback overtaking an outstanding read reply, and
+// a purge notice arriving after the page was re-shipped.
+func scenarioRaces(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 1, 10)
+	a := tc.clients[0]
+
+	cachePage(t, a, 1)
+	a.cs.beginRead(pageID(1))
+	foreign := lock.TxID{Site: "cx", Seq: 1}
+	a.handleCallback(callbackReq{OpID: 7001, Server: "srv", Tx: foreign, Item: objID(1, 2), Page: pageID(1)})
+
+	cachePage(t, a, 4)
+	_ = tc.srv.ct.addCopy(pageID(4), a.name) // the re-fetch bumps the install count
+	tc.srv.processPiggyback(a.name, []purgeNotice{{Page: pageID(4), Install: 1}})
+
+	stats := tc.sys.Stats()
+	if stats.Get(sim.CtrCallbackRaces) == 0 {
+		t.Error("callback race not registered")
+	}
+	if stats.Get(sim.CtrPurgeRaces) == 0 {
+		t.Error("purge race not detected")
+	}
+	add(stats)
+}
+
+// scenarioRedoAndEviction shrinks the server pool so a committed page
+// falls out before redo (the §3.3 re-read) and a dirty page is evicted
+// (the write-back disk write).
+func scenarioRedoAndEviction(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 1, 40, func(c *Config) {
+		c.ServerPoolPages = 4
+	})
+	a := tc.clients[0]
+
+	x := a.Begin()
+	writeVal(t, x, objID(0, 0), "dirty")
+	for pg := uint32(1); pg < 30; pg++ {
+		readVal(t, x, objID(pg, 0))
+	}
+	mustCommit(t, x) // page 0 non-resident: redo re-reads it, leaves it dirty
+
+	y := a.Begin()
+	for pg := uint32(30); pg < 40; pg++ {
+		readVal(t, y, objID(pg, 0)) // evicts the dirty page 0: write-back
+	}
+	mustCommit(t, y)
+	add(tc.sys.Stats())
+}
+
+// scenarioLockAborts drives the lock manager directly for the two abort
+// counters it owns: a wait that times out and a wait the deadlock
+// detector victimizes.
+func scenarioLockAborts(t *testing.T, add func(*sim.Stats)) {
+	stats := sim.NewStats()
+	m := lock.NewManager(stats, nil)
+	objA := storage.ObjectItem(1, 1, 1, 0)
+	objB := storage.ObjectItem(1, 1, 2, 0)
+	t1 := lock.TxID{Site: "dl1", Seq: 1}
+	t2 := lock.TxID{Site: "dl2", Seq: 2}
+	t3 := lock.TxID{Site: "dl3", Seq: 3}
+	if err := m.Lock(t1, objA, lock.EX, lock.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Lock(t2, objB, lock.EX, lock.Options{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// t3 waits for A and times out.
+	if err := m.Lock(t3, objA, lock.EX, lock.Options{Timeout: 20 * time.Millisecond}); !errors.Is(err, lock.ErrTimeout) {
+		t.Fatalf("timed-out lock err = %v, want ErrTimeout", err)
+	}
+
+	// t1 blocks on B, then t2 closes the cycle requesting A.
+	t1ch := make(chan error, 1)
+	go func() { t1ch <- m.Lock(t1, objB, lock.EX, lock.Options{Timeout: 10 * time.Second}) }()
+	waitForCounter(t, stats, sim.CtrLockWaits, 2, 5*time.Second) // t3's wait + t1's wait
+	t2ch := make(chan error, 1)
+	go func() { t2ch <- m.Lock(t2, objA, lock.EX, lock.Options{Timeout: 10 * time.Second}) }()
+
+	var victim lock.TxID
+	surv := t1ch
+	select {
+	case err := <-t1ch:
+		if !errors.Is(err, lock.ErrDeadlock) {
+			t.Fatalf("t1 wait ended with %v, want ErrDeadlock", err)
+		}
+		victim, surv = t1, t2ch
+	case err := <-t2ch:
+		if !errors.Is(err, lock.ErrDeadlock) {
+			t.Fatalf("t2 request ended with %v, want ErrDeadlock", err)
+		}
+		victim = t2
+	case <-time.After(5 * time.Second):
+		t.Fatal("deadlock not detected")
+	}
+	m.ReleaseAll(victim)
+	select {
+	case err := <-surv:
+		if err != nil {
+			t.Fatalf("survivor after victim released: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("survivor still blocked after victim released")
+	}
+	m.ReleaseAll(t1)
+	m.ReleaseAll(t2)
+	add(stats)
+}
+
+// scenarioMessageFaults runs three tiny clusters with probability-one
+// fault plans, making the injection counters and the resilience reactions
+// (retry, RPC timeout, duplicate suppression) deterministic.
+func scenarioMessageFaults(t *testing.T, add func(*sim.Stats)) {
+	// Drop everything: the read's RPC times out, is retried, and fails.
+	drop := newCluster(t, PS, 1, 4, func(c *Config) {
+		c.RPCTimeout = 10 * time.Millisecond
+		c.RPCMaxRetries = 2
+		c.Faults = &transport.FaultPlan{Seed: 41, DropProb: 1}
+	})
+	x := drop.clients[0].Begin()
+	if _, err := x.Read(objID(0, 0)); err == nil {
+		t.Fatal("read succeeded with every message dropped")
+	}
+	add(drop.sys.Stats())
+
+	// Duplicate everything: the dedup tables must suppress the copies and
+	// the transaction must still commit exactly once.
+	dup := newCluster(t, PS, 1, 4, resilientCfg, func(c *Config) {
+		c.Faults = &transport.FaultPlan{Seed: 42, DupProb: 1}
+	})
+	y := dup.clients[0].Begin()
+	writeVal(t, y, objID(0, 0), "dup")
+	mustCommit(t, y)
+	add(dup.sys.Stats())
+
+	// Delay everything: traffic reorders but the run completes.
+	delay := newCluster(t, PS, 1, 4, resilientCfg, func(c *Config) {
+		c.Faults = &transport.FaultPlan{Seed: 43, DelayProb: 1, Delay: time.Millisecond}
+	})
+	z := delay.clients[0].Begin()
+	readVal(t, z, objID(0, 0))
+	mustCommit(t, z)
+	add(delay.sys.Stats())
+}
+
+// scenarioCrash kills a client with an uncommitted write so the server
+// reclaims its state, then aims a message at the corpse.
+func scenarioCrash(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 2, 4, resilientCfg)
+	victim := tc.clients[1]
+
+	x := victim.Begin()
+	writeVal(t, x, objID(0, 0), "orphan")
+	if err := tc.sys.CrashPeer(victim.Name()); err != nil {
+		t.Fatal(err)
+	}
+	if got := tc.sys.Stats().Get(sim.CtrCrashRecoveries); got == 0 {
+		t.Error("no survivor reclaimed the crashed client's state")
+	}
+	// A send to the crashed peer is refused by the fabric.
+	_ = tc.sys.Net().Send(transport.Message{
+		From: tc.clients[0].Name(), To: victim.Name(), Kind: kindRequest,
+	}, transport.AnyPath)
+	add(tc.sys.Stats())
+}
+
+// scenarioClosedNetwork sends on a closed fabric: the message is dropped
+// and counted rather than delivered or hung.
+func scenarioClosedNetwork(t *testing.T, add func(*sim.Stats)) {
+	stats := sim.NewStats()
+	n := transport.NewNetwork(sim.DefaultCosts(0), stats, 1, 1)
+	for _, name := range []string{"a", "b"} {
+		cpu := sim.NewResource(name+"-cpu", sim.DefaultCosts(0))
+		if err := n.Register(name, cpu, func(transport.Message) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.Close()
+	if err := n.Send(transport.Message{From: "a", To: "b"}, transport.AnyPath); !errors.Is(err, transport.ErrClosed) {
+		t.Fatalf("send after close err = %v, want ErrClosed", err)
+	}
+	add(stats)
+}
+
+// scenarioWriteBackError hands the server an eviction whose page belongs
+// to a volume it does not own: the write-back must fail and be counted.
+func scenarioWriteBackError(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PS, 1, 4)
+	pg, err := tc.srv.srvFetchPage(pageID(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.srv.writeBackEvictions([]buffer.Eviction{{
+		ID:    storage.PageItem(9, 1, 0), // volume 9 is owned by nobody
+		Page:  pg,
+		Dirty: storage.AllAvailable(4),
+	}})
+	if tc.sys.Stats().Get(sim.CtrWriteBackErrors) == 0 {
+		t.Error("write-back of an unowned volume's page not counted as an error")
+	}
+	add(tc.sys.Stats())
+}

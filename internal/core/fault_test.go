@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -107,6 +108,12 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 	opts := []func(*Config){resilientCfg}
 	if plan := faultPlanFor(kind); plan != nil {
 		opts = append(opts, func(c *Config) { c.Faults = plan })
+	}
+	// CI sets FAULT_TRACE_OUT on one cell to archive a Perfetto-loadable
+	// trace of the run as a build artifact.
+	traceOut := os.Getenv("FAULT_TRACE_OUT")
+	if traceOut != "" {
+		opts = append(opts, func(c *Config) { c.Obs = obs.Config{Enabled: true} })
 	}
 	// Page 4 is reserved for the crash cell's pinned transaction; the
 	// oracle's workers touch pages 0-3 only.
@@ -236,6 +243,25 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 				t.Errorf("%s still holds locks of crashed %s: %v", p.Name(), crashTarget, txs)
 			}
 		}
+	}
+
+	if traceOut != "" {
+		set := tc.sys.Obs()
+		if set == nil {
+			t.Fatal("FAULT_TRACE_OUT set but observability is off")
+		}
+		f, err := os.Create(traceOut)
+		if err != nil {
+			t.Fatalf("trace out: %v", err)
+		}
+		events := set.TraceEvents()
+		if err := obs.WriteChromeTrace(f, events); err != nil {
+			t.Fatalf("trace out: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			t.Fatalf("trace out: %v", err)
+		}
+		t.Logf("wrote %d trace events to %s (%d dropped by ring bound)", len(events), traceOut, set.DroppedEvents())
 	}
 }
 

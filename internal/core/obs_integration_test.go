@@ -1,0 +1,127 @@
+// End-to-end smoke test of the observability surface threaded through the
+// protocol stack: with Config.Obs enabled, a short contended workload must
+// leave nonzero latency histograms, a coherent trace, and a Chrome
+// trace-event export that parses — and with it disabled (the default),
+// the registries must simply not exist.
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
+	"adaptivecc/internal/sim"
+)
+
+func TestObsDisabledByDefault(t *testing.T) {
+	tc := newCluster(t, PSAA, 1, 4)
+	if tc.sys.Obs() != nil {
+		t.Fatal("observability set exists without Config.Obs.Enabled")
+	}
+	for _, p := range tc.sys.Peers() {
+		if p.obs.Active() {
+			t.Fatalf("peer %s has an active registry with obs disabled", p.Name())
+		}
+	}
+}
+
+func TestObsEndToEnd(t *testing.T) {
+	tc := newCluster(t, PSAA, 2, 10, func(c *Config) {
+		c.Obs = obs.Config{Enabled: true}
+	})
+	a, b := tc.clients[0], tc.clients[1]
+	stats := tc.sys.Stats()
+
+	// A commits a write; B reads it back (RPC, disk, WAL, commit spans).
+	ta := a.Begin()
+	writeVal(t, ta, objID(1, 0), "seen")
+	mustCommit(t, ta)
+	tb := b.Begin()
+	readVal(t, tb, objID(1, 0))
+	mustCommit(t, tb)
+
+	// B holds SH while A writes: a blocked callback, so the lock-wait and
+	// callback-round histograms get genuinely-waiting samples.
+	tb = b.Begin()
+	readVal(t, tb, objID(1, 0))
+	aDone := make(chan error, 1)
+	go func() {
+		ta := a.Begin()
+		if err := ta.Write(objID(1, 0), []byte("again")); err != nil {
+			_ = ta.Abort()
+			aDone <- err
+			return
+		}
+		aDone <- ta.Commit()
+	}()
+	waitForCounter(t, stats, sim.CtrCallbackBlocked, 1, 5*time.Second)
+	mustCommit(t, tb)
+	if err := <-aDone; err != nil {
+		t.Fatalf("contended write: %v", err)
+	}
+
+	// An explicit hierarchical lock, the one path that emits lock.request.
+	tl := a.Begin()
+	if err := tl.LockItem(pageID(2), lock.SH); err != nil {
+		t.Fatalf("explicit page lock: %v", err)
+	}
+	mustCommit(t, tl)
+
+	set := tc.sys.Obs()
+	if set == nil {
+		t.Fatal("Config.Obs.Enabled set but System.Obs() is nil")
+	}
+	for _, h := range []struct {
+		id   obs.HistID
+		name string
+	}{
+		{obs.HistLockWait, "lock-wait"},
+		{obs.HistCallbackRound, "callback-round"},
+		{obs.HistRPC, "rpc"},
+		{obs.HistDiskIO, "disk-io"},
+		{obs.HistCommit, "commit"},
+	} {
+		snap := set.Merged(h.id)
+		if snap.Count == 0 {
+			t.Errorf("%s histogram empty after contended workload", h.name)
+			continue
+		}
+		if q := snap.Quantile(0.99); q <= 0 {
+			t.Errorf("%s p99 = %v, want > 0", h.name, q)
+		}
+	}
+
+	events := set.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	kinds := make(map[obs.EventKind]bool)
+	for _, ev := range events {
+		kinds[ev.Kind] = true
+	}
+	for _, k := range []obs.EventKind{
+		obs.EvLockRequest, obs.EvCallbackSent, obs.EvCallbackBlocked,
+		obs.EvCallbackAcked, obs.EvPageShip, obs.EvWALAppend,
+	} {
+		if !kinds[k] {
+			t.Errorf("trace has no %v event", k)
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := obs.WriteChromeTrace(&buf, events); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) < len(events) {
+		t.Errorf("chrome export has %d entries for %d events", len(trace.TraceEvents), len(events))
+	}
+}

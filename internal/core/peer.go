@@ -8,6 +8,7 @@ import (
 
 	"adaptivecc/internal/buffer"
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -25,6 +26,7 @@ type Peer struct {
 	cpu   *sim.Resource
 	stats *sim.Stats
 	waits *sim.WaitTracker
+	obs   *obs.Registry // nil unless the system's Config.Obs is enabled
 
 	locks    *lock.Manager
 	pool     *buffer.Pool // client role: cache of remote pages
@@ -134,6 +136,10 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 		replicatedAt: make(map[lock.TxID]map[string]bool),
 		finished:     make(map[lock.TxID]bool),
 		finishedRing: make([]lock.TxID, finishedRingSize),
+	}
+	if s.obsSet != nil {
+		p.obs = s.obsSet.NewRegistry(name)
+		p.locks.SetObs(p.obs)
 	}
 	if cfg.resilient() {
 		p.reqSeen = make(map[dedupKey]*rpcReply)
@@ -340,6 +346,10 @@ func (p *Peer) call(dest string, body any) (any, error) {
 
 	env := rpcEnvelope{ReqID: id, From: p.name, Pig: p.cs.takePurges(dest), Body: body}
 	msg := transport.Message{From: p.name, To: dest, Kind: kindRequest, Payload: env}
+	var rpcStart time.Time
+	if p.obs.Active() {
+		rpcStart = time.Now()
+	}
 	if err := p.sys.net.Send(msg, transport.AnyPath); err != nil {
 		cancel()
 		return nil, err
@@ -347,6 +357,9 @@ func (p *Peer) call(dest string, body any) (any, error) {
 
 	if !p.cfg.resilient() {
 		reply := <-ch
+		if p.obs.Active() {
+			p.obs.Observe(obs.HistRPC, time.Since(rpcStart))
+		}
 		return reply.Body, decodeErr(reply.Code, reply.Detail)
 	}
 
@@ -357,11 +370,18 @@ func (p *Peer) call(dest string, body any) (any, error) {
 	for attempt := 0; ; attempt++ {
 		select {
 		case reply := <-ch:
+			if p.obs.Active() {
+				p.obs.Observe(obs.HistRPC, time.Since(rpcStart))
+			}
 			return reply.Body, decodeErr(reply.Code, reply.Detail)
 		case <-timer.C:
 			p.stats.Inc(sim.CtrTimeoutsFired)
 			if attempt >= p.cfg.RPCMaxRetries {
 				cancel()
+				if p.obs.Active() {
+					p.obs.Emit(obs.EvTimeout, "", dest, time.Since(rpcStart),
+						fmt.Sprintf("rpc gave up after %d attempts", attempt+1))
+				}
 				return nil, fmt.Errorf("%w: %s->%s after %d attempts",
 					ErrRPCTimeout, p.name, dest, attempt+1)
 			}
@@ -369,6 +389,10 @@ func (p *Peer) call(dest string, body any) (any, error) {
 			// (From, ReqID) and re-sends its cached reply if the first
 			// execution's answer was what got lost.
 			p.stats.Inc(sim.CtrRetries)
+			if p.obs.Active() {
+				p.obs.Emit(obs.EvRetry, "", dest, 0,
+					fmt.Sprintf("rpc resend #%d", attempt+1))
+			}
 			if err := p.sys.net.Send(msg, transport.AnyPath); err != nil {
 				cancel()
 				return nil, err
@@ -637,6 +661,9 @@ func (p *Peer) peerDown(dead string) {
 
 	if reclaimed {
 		p.stats.Inc(sim.CtrCrashRecoveries)
+		if p.obs.Active() {
+			p.obs.Emit(obs.EvCrashReclaim, "", dead, 0, "reclaimed state of dead peer")
+		}
 	}
 }
 

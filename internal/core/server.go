@@ -2,9 +2,11 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"adaptivecc/internal/buffer"
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/wal"
@@ -75,6 +77,9 @@ func (p *Peer) srvRead(from string, rq readReq) (any, error) {
 		avail = p.availMaskFor(pageID, obj, from, page.NumObjects())
 	}
 	install := p.ct.addCopy(pageID, from)
+	if p.obs.Active() {
+		p.obs.Emit(obs.EvPageShip, rq.Tx.String(), pageID.String(), 0, "read ship to "+from)
+	}
 	return readResp{Page: page, Avail: avail, Install: install}, nil
 }
 
@@ -110,6 +115,9 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 		if allInvalidated && !p.foreignObjectLocks(pageID, from, rq.Tx) {
 			p.locks.SetAdaptive(rq.Tx, pageID, true)
 			p.stats.Inc(sim.CtrAdaptiveGrants)
+			if p.obs.Active() {
+				p.obs.Emit(obs.EvEscalation, rq.Tx.String(), pageID.String(), 0, "adaptive page lock granted")
+			}
 			resp.Adaptive = true
 		}
 	}
@@ -119,6 +127,9 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 			page, err := p.srvFetchPage(pageID)
 			if err != nil {
 				return nil, err
+			}
+			if p.obs.Active() {
+				p.obs.Emit(obs.EvPageShip, rq.Tx.String(), pageID.String(), 0, "write ship to "+from)
 			}
 			resp.Page = page
 			if obj.Level == storage.LevelObject {
@@ -229,6 +240,9 @@ func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string) error {
 		return nil
 	}
 	p.stats.Inc(sim.CtrDeescalations)
+	if p.obs.Active() {
+		p.obs.Emit(obs.EvDeescalation, "", pageID.String(), 0, "adaptive lock torn down at "+client)
+	}
 	var (
 		body any
 		err  error
@@ -308,7 +322,14 @@ func (p *Peer) srvFetchPage(pageID storage.ItemID) (*storage.Page, error) {
 	if !ok {
 		return nil, fmt.Errorf("core: peer %s does not own %v", p.name, pageID)
 	}
+	var ioStart time.Time
+	if p.obs.Active() {
+		ioStart = time.Now()
+	}
 	pg, err := vol.ReadPage(pageID)
+	if p.obs.Active() {
+		p.obs.Observe(obs.HistDiskIO, time.Since(ioStart))
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -347,7 +368,15 @@ func (p *Peer) writeBackEvictions(evs []buffer.Eviction) {
 			p.noteError(fmt.Errorf("core: %s evicted dirty page %v of unowned volume", p.name, ev.ID))
 			continue
 		}
-		if err := vol.WritePage(ev.Page); err != nil {
+		var ioStart time.Time
+		if p.obs.Active() {
+			ioStart = time.Now()
+		}
+		err := vol.WritePage(ev.Page)
+		if p.obs.Active() {
+			p.obs.Observe(obs.HistDiskIO, time.Since(ioStart))
+		}
+		if err != nil {
 			p.stats.Inc(sim.CtrWriteBackErrors)
 			p.noteError(fmt.Errorf("core: %s write-back of %v: %w", p.name, ev.ID, err))
 		}
@@ -360,7 +389,17 @@ func (p *Peer) appendAndRedo(recs []wal.Record) {
 	if p.slog == nil || len(recs) == 0 {
 		return
 	}
+	var ioStart time.Time
+	if p.obs.Active() {
+		ioStart = time.Now()
+	}
 	p.slog.Append(recs)
+	if p.obs.Active() {
+		d := time.Since(ioStart)
+		p.obs.Observe(obs.HistDiskIO, d)
+		p.obs.Emit(obs.EvWALAppend, recs[0].Tx.String(), recs[0].Object.String(), d,
+			fmt.Sprintf("%d records forced", len(recs)))
+	}
 	for _, r := range recs {
 		p.installBytes(r.Object, r.After, true)
 	}

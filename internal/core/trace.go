@@ -1,18 +1,25 @@
 package core
 
 import (
-	"fmt"
-	"os"
-	"sync/atomic"
+	"log/slog"
+
+	"adaptivecc/internal/obs"
 )
 
-var traceEnabled atomic.Bool
-
-// EnableTrace turns on diagnostic tracing (tests only).
-func EnableTrace(v bool) { traceEnabled.Store(v) }
-
-func tracef(format string, args ...any) {
-	if traceEnabled.Load() {
-		fmt.Fprintf(os.Stderr, format+"\n", args...)
+// EnableTrace turns on debug-level diagnostic logging (tests only). The
+// records go through the shared obs leveled slog logger instead of raw
+// stderr prints, so they carry structured fields and can be redirected.
+func EnableTrace(v bool) {
+	if v {
+		obs.SetLevel(slog.LevelDebug)
+	} else {
+		obs.SetLevel(obs.LevelOff)
 	}
 }
+
+// debugOn gates debug records: call sites check it before building
+// attribute lists so the disabled path does no boxing.
+func debugOn() bool { return obs.LogEnabled(slog.LevelDebug) }
+
+// debugLog emits one structured debug record.
+func debugLog(msg string, args ...any) { obs.Debug(msg, args...) }

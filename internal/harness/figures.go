@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/core"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/transport"
 	"adaptivecc/internal/workload"
 )
@@ -96,6 +97,10 @@ type Series struct {
 type FigureResult struct {
 	Figure Figure
 	Series []Series
+	// Trace holds the structured events captured while the figure ran
+	// (Platform.Observe only; sites are prefixed "<protocol>/" so the
+	// series stay distinguishable in one timeline).
+	Trace []obs.Event
 }
 
 // RunFigure reproduces one figure: every protocol swept over the write
@@ -144,6 +149,12 @@ func RunFigure(fig Figure, plat Platform, warmup, measure time.Duration, progres
 				}
 				s.Points = append(s.Points, res)
 			}
+			if set := c.sys.Obs(); set != nil {
+				for _, ev := range set.TraceEvents() {
+					ev.Site = proto.String() + "/" + ev.Site
+					out.Trace = append(out.Trace, ev)
+				}
+			}
 			return nil
 		}
 		if err := run(); err != nil {
@@ -173,7 +184,44 @@ func (fr FigureResult) Render() string {
 		}
 		b.WriteString("\n")
 	}
+	if fr.observed() {
+		b.WriteString("\nLatency percentiles (paper ms): lock-wait p50/p99 | callback p50/p99\n")
+		fmt.Fprintf(&b, "%-12s", "write prob")
+		for _, s := range fr.Series {
+			fmt.Fprintf(&b, "%28s", s.Protocol)
+		}
+		b.WriteString("\n")
+		for i, wp := range fr.Figure.WriteProbs {
+			fmt.Fprintf(&b, "%-12.2f", wp)
+			for _, s := range fr.Series {
+				if i < len(s.Points) {
+					p := s.Points[i]
+					fmt.Fprintf(&b, "%28s", fmt.Sprintf("%s/%s | %s/%s",
+						paperMS(p.LockWaitP50), paperMS(p.LockWaitP99),
+						paperMS(p.CallbackP50), paperMS(p.CallbackP99)))
+				}
+			}
+			b.WriteString("\n")
+		}
+	}
 	return b.String()
+}
+
+// observed reports whether any point carries measured latency percentiles.
+func (fr FigureResult) observed() bool {
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			if p.Observed {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// paperMS renders a duration as paper milliseconds, compactly.
+func paperMS(d time.Duration) string {
+	return fmt.Sprintf("%.1f", float64(d)/float64(time.Millisecond))
 }
 
 // RenderTable1 prints the platform configuration in the shape of the

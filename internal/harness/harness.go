@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/core"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -50,6 +51,10 @@ type Platform struct {
 	NumPaths        int     // communication paths per peer pair
 	TimeScale       float64 // sim cost scale (1.0 = paper milliseconds)
 	Seed            int64
+	// Observe enables the observability subsystem (latency histograms and
+	// trace rings) on every built cluster. Off by default: figure outputs
+	// stay bit-identical to the uninstrumented harness.
+	Observe bool
 }
 
 // DefaultPlatform returns the paper's Table 1 settings. The default
@@ -120,6 +125,13 @@ type Result struct {
 	DiskIOPerCommit    float64
 	// Raw counter deltas over the measurement window.
 	Counters map[string]int64
+	// Observed reports whether the latency percentiles below were measured
+	// (Platform.Observe); when false they are zero and are not rendered.
+	Observed    bool
+	LockWaitP50 time.Duration
+	LockWaitP99 time.Duration
+	CallbackP50 time.Duration
+	CallbackP99 time.Duration
 }
 
 // cluster is a built system plus the application homes.
@@ -145,6 +157,7 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 		FixedTimeout:    exp.FixedTimeout,
 		PropagateSHPage: exp.PropagateSHPage,
 		Faults:          exp.Faults,
+		Obs:             obs.Config{Enabled: plat.Observe},
 	}
 	// A fault run needs the resilience discipline (request retry, callback
 	// timeouts, crash reclamation). The retry timeout tracks the simulation
@@ -312,6 +325,11 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 
 	time.Sleep(exp.Warmup)
 	before := stats.Snapshot()
+	var lockWaitBefore, cbBefore obs.HistSnapshot
+	if set := c.sys.Obs(); set != nil {
+		lockWaitBefore = set.Merged(obs.HistLockWait)
+		cbBefore = set.Merged(obs.HistCallbackRound)
+	}
 	start := time.Now()
 
 	stopScen := make(chan struct{})
@@ -365,6 +383,17 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 		res.MessagesPerCommit = float64(deltas[sim.CtrMessages]) / float64(commits)
 		res.CallbacksPerCommit = float64(deltas[sim.CtrCallbacks]) / float64(commits)
 		res.DiskIOPerCommit = float64(deltas[sim.CtrDiskReads]+deltas[sim.CtrDiskWrites]) / float64(commits)
+	}
+	if set := c.sys.Obs(); set != nil {
+		lockWait := set.Merged(obs.HistLockWait)
+		lockWait.Sub(lockWaitBefore)
+		cb := set.Merged(obs.HistCallbackRound)
+		cb.Sub(cbBefore)
+		res.Observed = true
+		res.LockWaitP50 = lockWait.Quantile(0.50)
+		res.LockWaitP99 = lockWait.Quantile(0.99)
+		res.CallbackP50 = cb.Quantile(0.50)
+		res.CallbackP99 = cb.Quantile(0.99)
 	}
 	return res, nil
 }

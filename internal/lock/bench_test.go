@@ -8,12 +8,15 @@ package lock_test
 
 import (
 	"errors"
+	"math"
 	"math/rand"
+	"os"
 	"sync/atomic"
 	"testing"
 	"time"
 
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/storage"
 )
 
@@ -60,8 +63,9 @@ func BenchmarkUncontendedGrantRelease(b *testing.B) {
 // benchmarkMixed runs `workers` goroutines over a shared page range doing
 // 75% SH / 25% EX object locks with immediate release, and a LocksWithin
 // page scan every fourth operation (the availMaskFor pattern), on top of a
-// 10 000-lock resident table.
-func benchmarkMixed(b *testing.B, workers int) {
+// 10 000-lock resident table. A non-nil registry is attached to the
+// manager, measuring the instrumented (or disabled-instrumentation) path.
+func benchmarkMixed(b *testing.B, workers int, reg *obs.Registry) {
 	const (
 		residentPages = 2000
 		residentSlots = 5
@@ -70,6 +74,9 @@ func benchmarkMixed(b *testing.B, workers int) {
 		hotSlots      = 16
 	)
 	m := lock.NewManager(nil, nil)
+	if reg != nil {
+		m.SetObs(reg)
+	}
 	populateResident(b, m, residentPages, residentSlots)
 
 	var seq atomic.Uint64
@@ -104,8 +111,46 @@ func benchmarkMixed(b *testing.B, workers int) {
 	})
 }
 
-func BenchmarkMixedParallel8(b *testing.B)  { benchmarkMixed(b, 8) }
-func BenchmarkMixedParallel64(b *testing.B) { benchmarkMixed(b, 64) }
+func BenchmarkMixedParallel8(b *testing.B)  { benchmarkMixed(b, 8, nil) }
+func BenchmarkMixedParallel64(b *testing.B) { benchmarkMixed(b, 64, nil) }
+
+// BenchmarkMixedParallel64Obs is Mixed64 with a *disabled* observability
+// registry attached: the cost being measured is the nil-check + enabled-flag
+// load on the hot path, which the CI overhead gate pins at <= 2% of the
+// uninstrumented run.
+func BenchmarkMixedParallel64Obs(b *testing.B) {
+	benchmarkMixed(b, 64, obs.NewRegistry("bench", 1, 0))
+}
+
+// TestObsDisabledOverhead is the CI obs-overhead gate: it compares Mixed64
+// with no registry against Mixed64 with a disabled registry and fails if
+// the disabled instrumentation costs more than 2%. The comparison takes the
+// minimum of several runs each to shed scheduler noise; it only runs when
+// OBS_OVERHEAD_GATE is set because even so it is too noisy for the default
+// test suite on loaded machines.
+func TestObsDisabledOverhead(t *testing.T) {
+	if os.Getenv("OBS_OVERHEAD_GATE") == "" {
+		t.Skip("set OBS_OVERHEAD_GATE=1 to run the disabled-path overhead gate")
+	}
+	const rounds = 3
+	minNs := func(reg *obs.Registry) float64 {
+		best := math.MaxFloat64
+		for i := 0; i < rounds; i++ {
+			r := testing.Benchmark(func(b *testing.B) { benchmarkMixed(b, 64, reg) })
+			if ns := float64(r.NsPerOp()); ns < best {
+				best = ns
+			}
+		}
+		return best
+	}
+	base := minNs(nil)
+	instr := minNs(obs.NewRegistry("gate", 1, 0))
+	overhead := (instr - base) / base
+	t.Logf("base %.1f ns/op, disabled-obs %.1f ns/op, overhead %+.2f%%", base, instr, overhead*100)
+	if overhead > 0.02 {
+		t.Fatalf("disabled observability costs %.2f%% on the Mixed64 hot path, budget is 2%%", overhead*100)
+	}
+}
 
 // BenchmarkLocksWithinTable100k measures the page-scope scan against a
 // 100 000-lock table (5 000 pages × 20 objects): the cost must track the

@@ -7,6 +7,7 @@ import (
 
 	"sync"
 
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 )
@@ -82,6 +83,7 @@ type Manager struct {
 
 	stats *sim.Stats
 	waits *sim.WaitTracker
+	obs   *obs.Registry // nil-safe; set by SetObs when observability is on
 }
 
 type head struct {
@@ -125,6 +127,11 @@ func NewManager(stats *sim.Stats, waits *sim.WaitTracker) *Manager {
 	}
 	return m
 }
+
+// SetObs attaches an observability registry: blocked lock waits are
+// recorded into its lock-wait histogram and emitted as trace events. A
+// nil registry (the default) keeps the instrumentation inert.
+func (m *Manager) SetObs(r *obs.Registry) { m.obs = r }
 
 // Lock acquires item in mode for tx, first taking the necessary intention
 // locks on ancestors (unless opt.SkipAncestors). Re-acquiring a covered
@@ -207,10 +214,22 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 	}
 
 	m.stats.Inc(sim.CtrLockWaits)
+	if m.obs.Active() {
+		m.obs.Emit(obs.EvLockBlock, tx.String(), item.String(), 0, mode.String())
+	}
 	start := time.Now()
 	err := m.await(req, opt.Timeout)
+	wait := time.Since(start)
 	if m.waits != nil {
-		m.waits.Observe(time.Since(start))
+		m.waits.Observe(wait)
+	}
+	if m.obs.Active() {
+		m.obs.Observe(obs.HistLockWait, wait)
+		note := mode.String()
+		if err != nil {
+			note = err.Error()
+		}
+		m.obs.Emit(obs.EvLockGrant, tx.String(), item.String(), wait, note)
 	}
 	return err
 }

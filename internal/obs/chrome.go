@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+)
+
+// chromeEvent is one entry of the Chrome trace-event format ("JSON Array
+// with metadata" flavor: a top-level object with a traceEvents array),
+// loadable by Perfetto and chrome://tracing.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Cat  string            `json:"cat,omitempty"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"` // microseconds
+	Dur  float64           `json:"dur,omitempty"`
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	S    string            `json:"s,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace serializes events as Chrome trace-event JSON with one
+// process (lane) per site and one thread per transaction within a site.
+// Events with a nonzero Dur render as complete spans ("X"), the rest as
+// thread-scoped instants ("i"). Timestamps are paper-time microseconds.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	sites := make([]string, 0, 8)
+	seen := make(map[string]bool)
+	for _, ev := range events {
+		if !seen[ev.Site] {
+			seen[ev.Site] = true
+			sites = append(sites, ev.Site)
+		}
+	}
+	sort.Strings(sites)
+	pidOf := make(map[string]int, len(sites))
+	for i, s := range sites {
+		pidOf[s] = i + 1
+	}
+
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+2*len(sites))}
+	for _, s := range sites {
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "process_name", Ph: "M", Pid: pidOf[s], Tid: 0,
+			Args: map[string]string{"name": s},
+		})
+	}
+
+	// Thread IDs: per site, one lane per transaction identity, assigned in
+	// first-appearance order; events with no transaction share lane 0.
+	type tidKey struct {
+		site string
+		tx   string
+	}
+	tids := make(map[tidKey]int)
+	nextTid := make(map[string]int)
+	tidFor := func(site, tx string) int {
+		if tx == "" {
+			return 0
+		}
+		k := tidKey{site, tx}
+		if t, ok := tids[k]; ok {
+			return t
+		}
+		nextTid[site]++
+		t := nextTid[site]
+		tids[k] = t
+		out.TraceEvents = append(out.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidOf[site], Tid: t,
+			Args: map[string]string{"name": tx},
+		})
+		return t
+	}
+
+	usec := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name: ev.Kind.String(),
+			Cat:  ev.Kind.Category(),
+			Pid:  pidOf[ev.Site],
+			Tid:  tidFor(ev.Site, ev.Tx),
+		}
+		args := make(map[string]string, 3)
+		if ev.Tx != "" {
+			args["tx"] = ev.Tx
+		}
+		if ev.Item != "" {
+			args["item"] = ev.Item
+		}
+		if ev.Note != "" {
+			args["note"] = ev.Note
+		}
+		if len(args) > 0 {
+			ce.Args = args
+		}
+		if ev.Dur > 0 {
+			ce.Ph = "X"
+			start := ev.At - ev.Dur
+			if start < 0 {
+				start = 0
+			}
+			ce.Ts = usec(start)
+			ce.Dur = usec(ev.Dur)
+		} else {
+			ce.Ph = "i"
+			ce.S = "t"
+			ce.Ts = usec(ev.At)
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

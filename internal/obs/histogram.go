@@ -1,0 +1,162 @@
+// Package obs is the observability layer of the page-server fabric:
+// lock-free latency histograms, a per-peer structured event trace
+// exportable as Chrome trace-event JSON, a leveled slog logger, and a
+// Prometheus/expvar metrics surface. Everything is off by default — a nil
+// *Registry is valid and makes every record operation a no-op — so the
+// protocol hot paths pay only a nil check when observability is disabled.
+package obs
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of log-spaced histogram buckets. Bucket 0 holds
+// durations up to bucketBase (1µs); each later bucket's upper bound grows
+// by √2 (two buckets per octave), so the last finite bound is about
+// 1µs·√2^63 ≈ 2.6 hours. Longer observations land in the last bucket.
+const NumBuckets = 64
+
+const bucketBase = float64(time.Microsecond)
+
+// invLogGamma is 1/log2(√2) = 2: bucket index of duration d (in units of
+// bucketBase) is ceil(2·log2(d)).
+const invLogGamma = 2.0
+
+// bucketBounds[i] is the inclusive upper bound of bucket i in nanoseconds.
+var bucketBounds = func() [NumBuckets]float64 {
+	var b [NumBuckets]float64
+	for i := range b {
+		b[i] = bucketBase * math.Pow(2, float64(i)/invLogGamma)
+	}
+	return b
+}()
+
+// BucketBound reports the inclusive upper bound of bucket i (the last
+// bucket also absorbs everything above its bound).
+func BucketBound(i int) time.Duration { return time.Duration(bucketBounds[i]) }
+
+// Histogram is a fixed-bucket log-spaced latency histogram safe for
+// concurrent lock-free recording. The zero value is ready to use.
+type Histogram struct {
+	buckets [NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+}
+
+// bucketIndex maps a duration to its bucket.
+func bucketIndex(d time.Duration) int {
+	if d <= time.Microsecond {
+		return 0
+	}
+	i := int(math.Ceil(invLogGamma * math.Log2(float64(d)/bucketBase)))
+	if i >= NumBuckets {
+		return NumBuckets - 1
+	}
+	return i
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.buckets[bucketIndex(d)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(int64(d))
+}
+
+// Snapshot copies the histogram state. Concurrent Observe calls may tear
+// across buckets (the snapshot is not a point-in-time cut), which is
+// acceptable for reporting.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		s.Buckets[i] = h.buckets[i].Load()
+	}
+	s.Count = h.count.Load()
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// HistSnapshot is a mergeable, subtractable copy of a Histogram.
+type HistSnapshot struct {
+	Buckets [NumBuckets]uint64
+	Count   uint64
+	Sum     int64
+}
+
+// Merge adds another snapshot into this one.
+func (s *HistSnapshot) Merge(o HistSnapshot) {
+	for i := range s.Buckets {
+		s.Buckets[i] += o.Buckets[i]
+	}
+	s.Count += o.Count
+	s.Sum += o.Sum
+}
+
+// Sub subtracts an earlier snapshot, yielding the window in between.
+// Counts never go negative (a racing Observe between the two snapshots
+// clamps to zero).
+func (s *HistSnapshot) Sub(o HistSnapshot) {
+	for i := range s.Buckets {
+		if s.Buckets[i] >= o.Buckets[i] {
+			s.Buckets[i] -= o.Buckets[i]
+		} else {
+			s.Buckets[i] = 0
+		}
+	}
+	if s.Count >= o.Count {
+		s.Count -= o.Count
+	} else {
+		s.Count = 0
+	}
+	if s.Sum >= o.Sum {
+		s.Sum -= o.Sum
+	} else {
+		s.Sum = 0
+	}
+}
+
+// Mean reports the average observed duration (zero when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(uint64(s.Sum) / s.Count)
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket. Returns zero when the histogram is empty.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(s.Count)
+	var cum uint64
+	for i, n := range s.Buckets {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += n
+		if float64(cum) < rank {
+			continue
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = bucketBounds[i-1]
+		}
+		hi := bucketBounds[i]
+		frac := (rank - float64(prev)) / float64(n)
+		return time.Duration(lo + (hi-lo)*frac)
+	}
+	return time.Duration(bucketBounds[NumBuckets-1])
+}

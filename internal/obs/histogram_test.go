@@ -1,0 +1,144 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestBucketIndexMonotonic(t *testing.T) {
+	prev := -1
+	for _, d := range []time.Duration{
+		0, time.Nanosecond, time.Microsecond, 2 * time.Microsecond,
+		10 * time.Microsecond, time.Millisecond, 10 * time.Millisecond,
+		time.Second, time.Minute, time.Hour, 10 * time.Hour,
+	} {
+		i := bucketIndex(d)
+		if i < 0 || i >= NumBuckets {
+			t.Fatalf("bucketIndex(%v) = %d out of range", d, i)
+		}
+		if i < prev {
+			t.Fatalf("bucketIndex(%v) = %d < previous %d", d, i, prev)
+		}
+		prev = i
+	}
+	// Every duration must land in a bucket whose bound covers it.
+	for _, d := range []time.Duration{3 * time.Microsecond, 7 * time.Millisecond, 42 * time.Second} {
+		i := bucketIndex(d)
+		if BucketBound(i) < d {
+			t.Errorf("bucket %d bound %v < observed %v", i, BucketBound(i), d)
+		}
+		if i > 0 && BucketBound(i-1) >= d {
+			t.Errorf("bucket %d-1 bound %v >= observed %v (not the tightest bucket)", i, BucketBound(i-1), d)
+		}
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	// 1000 observations spread 1ms..1000ms uniformly.
+	for i := 1; i <= 1000; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	s := h.Snapshot()
+	if s.Count != 1000 {
+		t.Fatalf("count = %d, want 1000", s.Count)
+	}
+	checks := []struct {
+		q    float64
+		want time.Duration
+	}{
+		{0.50, 500 * time.Millisecond},
+		{0.90, 900 * time.Millisecond},
+		{0.99, 990 * time.Millisecond},
+	}
+	for _, c := range checks {
+		got := s.Quantile(c.q)
+		// Log-spaced buckets with √2 spacing: the estimate must fall within
+		// one bucket factor of the truth.
+		lo := time.Duration(float64(c.want) / 1.5)
+		hi := time.Duration(float64(c.want) * 1.5)
+		if got < lo || got > hi {
+			t.Errorf("p%.0f = %v, want within [%v, %v]", c.q*100, got, lo, hi)
+		}
+	}
+	if m := s.Mean(); m < 400*time.Millisecond || m > 600*time.Millisecond {
+		t.Errorf("mean = %v, want ~500ms", m)
+	}
+}
+
+func TestHistogramEmptyQuantile(t *testing.T) {
+	var s HistSnapshot
+	if q := s.Quantile(0.99); q != 0 {
+		t.Fatalf("empty quantile = %v, want 0", q)
+	}
+}
+
+func TestSnapshotMergeSub(t *testing.T) {
+	var a, b Histogram
+	for i := 0; i < 100; i++ {
+		a.Observe(time.Millisecond)
+		b.Observe(time.Second)
+	}
+	sa, sb := a.Snapshot(), b.Snapshot()
+	merged := sa
+	merged.Merge(sb)
+	if merged.Count != 200 {
+		t.Fatalf("merged count = %d, want 200", merged.Count)
+	}
+	if merged.Sum != sa.Sum+sb.Sum {
+		t.Fatalf("merged sum = %d, want %d", merged.Sum, sa.Sum+sb.Sum)
+	}
+	merged.Sub(sb)
+	if merged != sa {
+		t.Fatalf("merge then sub did not restore the original snapshot")
+	}
+	// Subtracting more than present clamps to zero rather than wrapping.
+	under := sa
+	under.Sub(merged)
+	under.Sub(sb)
+	if under.Count != 0 {
+		t.Fatalf("over-subtracted count = %d, want 0", under.Count)
+	}
+}
+
+// TestHistogramConcurrentMerge drives concurrent observers against
+// concurrent snapshot/merge readers; run under -race.
+func TestHistogramConcurrentMerge(t *testing.T) {
+	var h Histogram
+	const (
+		writers = 8
+		perG    = 5000
+	)
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		var acc HistSnapshot
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			acc.Merge(h.Snapshot())
+			_ = acc.Quantile(0.99)
+		}
+	}()
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(time.Duration(g*1000+i) * time.Microsecond)
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+	if got := h.Snapshot().Count; got != writers*perG {
+		t.Fatalf("count = %d, want %d", got, writers*perG)
+	}
+}

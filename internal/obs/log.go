@@ -1,0 +1,46 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"os"
+	"sync/atomic"
+)
+
+// LevelOff is a level above every slog level: the default, at which the
+// diagnostic logger emits nothing.
+const LevelOff slog.Level = slog.LevelError + 8
+
+var logLevel slog.LevelVar
+
+var logger atomic.Pointer[slog.Logger]
+
+func init() {
+	logLevel.Set(LevelOff)
+	logger.Store(slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: &logLevel})))
+}
+
+// Logger returns the shared leveled diagnostic logger.
+func Logger() *slog.Logger { return logger.Load() }
+
+// SetLevel adjusts the minimum emitted level (LevelOff silences).
+func SetLevel(l slog.Level) { logLevel.Set(l) }
+
+// LogEnabled reports whether records at level l would be emitted; hot
+// call sites check it before building structured attributes.
+func LogEnabled(l slog.Level) bool { return l >= logLevel.Level() }
+
+// SetLogOutput redirects the diagnostic logger (tests).
+func SetLogOutput(w io.Writer) {
+	logger.Store(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: &logLevel})))
+}
+
+// Debug emits a debug-level record; the level check happens before the
+// variadic arguments are used.
+func Debug(msg string, args ...any) {
+	if !LogEnabled(slog.LevelDebug) {
+		return
+	}
+	Logger().Log(context.Background(), slog.LevelDebug, msg, args...)
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// The gatherer tracks every live Set so the metrics surface can serve
+// them all. Labels are assigned at registration (base plus a sequence
+// number) and become the `system` label of every exported series.
+var gatherer = struct {
+	mu   sync.Mutex
+	next int
+	sets map[*Set]string
+}{sets: make(map[*Set]string)}
+
+// RegisterSet adds a Set to the metrics surface under a generated label
+// derived from base ("base0", "base1", ...).
+func RegisterSet(s *Set, base string) {
+	if s == nil {
+		return
+	}
+	if base == "" {
+		base = "sys"
+	}
+	gatherer.mu.Lock()
+	if _, ok := gatherer.sets[s]; !ok {
+		gatherer.sets[s] = fmt.Sprintf("%s%d", base, gatherer.next)
+		gatherer.next++
+	}
+	gatherer.mu.Unlock()
+}
+
+// UnregisterSet removes a Set from the metrics surface (idempotent).
+func UnregisterSet(s *Set) {
+	gatherer.mu.Lock()
+	delete(gatherer.sets, s)
+	gatherer.mu.Unlock()
+}
+
+// labeledSet pairs a registered Set with its label, sorted for
+// deterministic exposition.
+type labeledSet struct {
+	label string
+	set   *Set
+}
+
+func registeredSets() []labeledSet {
+	gatherer.mu.Lock()
+	out := make([]labeledSet, 0, len(gatherer.sets))
+	for s, l := range gatherer.sets {
+		out = append(out, labeledSet{label: l, set: s})
+	}
+	gatherer.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].label < out[j].label })
+	return out
+}
+
+// MetricsHandler serves every registered Set in the Prometheus text
+// exposition format: sim.Stats counters as `adaptivecc_<name>_total` and
+// the merged latency histograms as `adaptivecc_<hist>_seconds` with
+// cumulative le-buckets. Output order is deterministic.
+func MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		var b strings.Builder
+		WritePrometheus(&b)
+		_, _ = w.Write([]byte(b.String()))
+	})
+}
+
+// WritePrometheus renders the exposition text (split out for tests).
+func WritePrometheus(b *strings.Builder) {
+	sets := registeredSets()
+
+	// Counters: union of names across sets, sorted, zero included so the
+	// series set is stable across scrapes.
+	names := map[string]bool{}
+	snaps := make([]map[string]int64, len(sets))
+	for i, ls := range sets {
+		snaps[i] = ls.set.Stats().Snapshot()
+		for k := range snaps[i] {
+			names[k] = true
+		}
+	}
+	sortedNames := make([]string, 0, len(names))
+	for k := range names {
+		sortedNames = append(sortedNames, k)
+	}
+	sort.Strings(sortedNames)
+	for _, name := range sortedNames {
+		fmt.Fprintf(b, "# TYPE adaptivecc_%s_total counter\n", name)
+		for i, ls := range sets {
+			fmt.Fprintf(b, "adaptivecc_%s_total{system=%q} %d\n", name, ls.label, snaps[i][name])
+		}
+	}
+
+	for id := HistID(0); id < NumHists; id++ {
+		metric := "adaptivecc_" + id.MetricName() + "_seconds"
+		fmt.Fprintf(b, "# TYPE %s histogram\n", metric)
+		for _, ls := range sets {
+			h := ls.set.Merged(id)
+			var cum uint64
+			for i := 0; i < NumBuckets; i++ {
+				cum += h.Buckets[i]
+				if h.Buckets[i] == 0 && i < NumBuckets-1 {
+					continue // keep the output compact; cumulative counts stay correct
+				}
+				fmt.Fprintf(b, "%s_bucket{system=%q,le=%q} %d\n",
+					metric, ls.label, formatLe(BucketBound(i)), cum)
+			}
+			fmt.Fprintf(b, "%s_bucket{system=%q,le=\"+Inf\"} %d\n", metric, ls.label, h.Count)
+			fmt.Fprintf(b, "%s_sum{system=%q} %g\n", metric, ls.label, time.Duration(h.Sum).Seconds())
+			fmt.Fprintf(b, "%s_count{system=%q} %d\n", metric, ls.label, h.Count)
+		}
+	}
+}
+
+func formatLe(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}
+
+var expvarOnce sync.Once
+
+// PublishExpvar publishes the registered sets under the "adaptivecc"
+// expvar (idempotent): per-system counters plus p50/p90/p99 of each
+// histogram in milliseconds.
+func PublishExpvar() {
+	expvarOnce.Do(func() {
+		expvar.Publish("adaptivecc", expvar.Func(func() any {
+			out := make(map[string]any)
+			for _, ls := range registeredSets() {
+				sys := make(map[string]any)
+				sys["counters"] = ls.set.Stats().Snapshot()
+				hists := make(map[string]any)
+				for id := HistID(0); id < NumHists; id++ {
+					h := ls.set.Merged(id)
+					hists[id.MetricName()] = map[string]any{
+						"count":  h.Count,
+						"p50_ms": float64(h.Quantile(0.50)) / float64(time.Millisecond),
+						"p90_ms": float64(h.Quantile(0.90)) / float64(time.Millisecond),
+						"p99_ms": float64(h.Quantile(0.99)) / float64(time.Millisecond),
+					}
+				}
+				sys["latency"] = hists
+				sys["trace_dropped"] = ls.set.DroppedEvents()
+				out[ls.label] = sys
+			}
+			return out
+		}))
+	})
+}

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"adaptivecc/internal/sim"
+)
+
+// DefaultTraceCap is the per-peer trace ring capacity when unset.
+const DefaultTraceCap = 4096
+
+// Config enables and parameterizes the observability subsystem on a
+// system. The zero value means disabled: no registries are created and
+// every instrumentation site reduces to a nil check.
+type Config struct {
+	// Enabled turns the subsystem on.
+	Enabled bool
+	// TraceCap is the per-peer trace ring capacity (default 4096).
+	TraceCap int
+	// TimeScale is the simulation cost scale (sim.CostTable.Scale): when
+	// positive, wall-clock durations are divided by it so histograms and
+	// trace timestamps are in paper time. Zero keeps wall time.
+	TimeScale float64
+}
+
+// HistID names one of the tracked latency histograms.
+type HistID int
+
+// The histograms recorded by the protocol layers.
+const (
+	HistLockWait      HistID = iota // blocked lock-request wait time
+	HistCallbackRound               // server-side callback round duration
+	HistRPC                         // request/reply round trip
+	HistDiskIO                      // page read/write and log force
+	HistCommit                      // Tx.Commit total duration
+	NumHists
+)
+
+// MetricName is the Prometheus-style base name of the histogram.
+func (h HistID) MetricName() string {
+	switch h {
+	case HistLockWait:
+		return "lock_wait"
+	case HistCallbackRound:
+		return "callback_round"
+	case HistRPC:
+		return "rpc"
+	case HistDiskIO:
+		return "disk_io"
+	case HistCommit:
+		return "commit"
+	default:
+		return "unknown"
+	}
+}
+
+// String renders the histogram name.
+func (h HistID) String() string { return h.MetricName() }
+
+// Registry is the per-peer observability handle: one histogram per HistID
+// and a bounded trace ring, sharing the Set's clock and scale. A nil
+// Registry is valid — Active() is false and every method is a no-op — so
+// peers carry one pointer whether or not observability is on.
+type Registry struct {
+	site    string
+	scale   float64
+	start   time.Time
+	enabled atomic.Bool
+	hists   [NumHists]Histogram
+	ring    *TraceRing
+}
+
+// NewRegistry returns a standalone enabled registry (tests and
+// benchmarks; production registries come from Set.NewRegistry).
+func NewRegistry(site string, scale float64, traceCap int) *Registry {
+	r := &Registry{site: site, scale: scale, start: time.Now(), ring: newTraceRing(traceCap)}
+	r.enabled.Store(true)
+	return r
+}
+
+// Active reports whether the registry should be fed. Nil-safe: the
+// disabled path is a nil check plus an atomic load at most.
+func (r *Registry) Active() bool { return r != nil && r.enabled.Load() }
+
+// SetEnabled toggles recording (benchmarks measure the disabled path of a
+// non-nil registry with this).
+func (r *Registry) SetEnabled(v bool) { r.enabled.Store(v) }
+
+// Site reports the peer name this registry belongs to.
+func (r *Registry) Site() string { return r.site }
+
+// simDur converts a wall duration to paper time.
+func (r *Registry) simDur(wall time.Duration) time.Duration {
+	if r.scale > 0 {
+		return time.Duration(float64(wall) / r.scale)
+	}
+	return wall
+}
+
+// Now reports the current paper time since the registry's epoch.
+func (r *Registry) Now() time.Duration {
+	return r.simDur(time.Since(r.start))
+}
+
+// Observe records a wall-clock duration into a histogram, converted to
+// paper time. No-op when inactive.
+func (r *Registry) Observe(id HistID, wall time.Duration) {
+	if !r.Active() {
+		return
+	}
+	r.hists[id].Observe(r.simDur(wall))
+}
+
+// Emit records a trace event stamped with the current paper time. dur is
+// the wall-clock duration of the spanned work (zero for instants). No-op
+// when inactive.
+func (r *Registry) Emit(kind EventKind, tx, item string, dur time.Duration, note string) {
+	if !r.Active() {
+		return
+	}
+	r.ring.Add(Event{
+		Kind: kind,
+		At:   r.Now(),
+		Dur:  r.simDur(dur),
+		Site: r.site,
+		Tx:   tx,
+		Item: item,
+		Note: note,
+	})
+}
+
+// Hist snapshots one histogram of this registry.
+func (r *Registry) Hist(id HistID) HistSnapshot {
+	if r == nil {
+		return HistSnapshot{}
+	}
+	return r.hists[id].Snapshot()
+}
+
+// Events snapshots the registry's trace ring oldest-first.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return r.ring.Snapshot()
+}
+
+// Dropped reports the number of trace events lost to ring wraparound.
+func (r *Registry) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.ring.Dropped()
+}
+
+// Set is one system's observability state: the per-peer registries, a
+// shared epoch, and the system's sim.Stats counters — the unified view
+// served by the metrics surface.
+type Set struct {
+	cfg   Config
+	stats *sim.Stats
+	start time.Time
+
+	mu   sync.Mutex
+	regs []*Registry
+}
+
+// NewSet builds the observability state for one system. stats may be nil.
+func NewSet(cfg Config, stats *sim.Stats) *Set {
+	if cfg.TraceCap <= 0 {
+		cfg.TraceCap = DefaultTraceCap
+	}
+	if stats == nil {
+		stats = sim.NewStats()
+	}
+	return &Set{cfg: cfg, stats: stats, start: time.Now()}
+}
+
+// Stats exposes the counter set this Set reports alongside its histograms.
+func (s *Set) Stats() *sim.Stats { return s.stats }
+
+// NewRegistry creates (and retains) the registry for one peer. All of a
+// Set's registries share its epoch, so their trace timestamps align.
+func (s *Set) NewRegistry(site string) *Registry {
+	r := &Registry{site: site, scale: s.cfg.TimeScale, start: s.start, ring: newTraceRing(s.cfg.TraceCap)}
+	r.enabled.Store(true)
+	s.mu.Lock()
+	s.regs = append(s.regs, r)
+	s.mu.Unlock()
+	return r
+}
+
+// Registries snapshots the per-peer registries.
+func (s *Set) Registries() []*Registry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Registry(nil), s.regs...)
+}
+
+// Merged aggregates one histogram across every peer.
+func (s *Set) Merged(id HistID) HistSnapshot {
+	var out HistSnapshot
+	for _, r := range s.Registries() {
+		out.Merge(r.Hist(id))
+	}
+	return out
+}
+
+// MergedAll aggregates every histogram across every peer.
+func (s *Set) MergedAll() [NumHists]HistSnapshot {
+	var out [NumHists]HistSnapshot
+	for _, r := range s.Registries() {
+		for id := HistID(0); id < NumHists; id++ {
+			h := r.Hist(id)
+			out[id].Merge(h)
+		}
+	}
+	return out
+}
+
+// TraceEvents merges every peer's trace ring, ordered by timestamp (ties
+// broken by site for determinism).
+func (s *Set) TraceEvents() []Event {
+	var out []Event
+	for _, r := range s.Registries() {
+		out = append(out, r.Events()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].At != out[j].At {
+			return out[i].At < out[j].At
+		}
+		return out[i].Site < out[j].Site
+	})
+	return out
+}
+
+// DroppedEvents totals the trace events lost to ring wraparound.
+func (s *Set) DroppedEvents() uint64 {
+	var n uint64
+	for _, r := range s.Registries() {
+		n += r.Dropped()
+	}
+	return n
+}

@@ -1,0 +1,161 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// EventKind is the type of one structured trace event.
+type EventKind int
+
+// The event vocabulary of the page-server fabric (see DESIGN.md §9).
+const (
+	EvLockRequest EventKind = iota + 1 // explicit hierarchical lock request
+	EvLockBlock                        // a lock request started waiting
+	EvLockGrant                        // a blocked lock request was granted (span)
+	EvCallbackSent                     // server sent a callback to a client
+	EvCallbackBlocked                  // a client reported a callback conflict
+	EvCallbackAcked                    // a client acknowledged a callback
+	EvEscalation                       // adaptive page lock granted (PS-AA)
+	EvDeescalation                     // adaptive page lock torn down
+	EvPageShip                         // a page copy was shipped to a client
+	EvWALAppend                        // records forced to the stable log (span)
+	EvRetry                            // an RPC attempt was resent
+	EvTimeout                          // an RPC or callback round timed out
+	EvCrashReclaim                     // state of a crashed peer was reclaimed
+)
+
+// String names the kind as it appears in trace exports.
+func (k EventKind) String() string {
+	switch k {
+	case EvLockRequest:
+		return "lock.request"
+	case EvLockBlock:
+		return "lock.block"
+	case EvLockGrant:
+		return "lock.grant"
+	case EvCallbackSent:
+		return "callback.sent"
+	case EvCallbackBlocked:
+		return "callback.blocked"
+	case EvCallbackAcked:
+		return "callback.acked"
+	case EvEscalation:
+		return "adaptive.escalation"
+	case EvDeescalation:
+		return "adaptive.deescalation"
+	case EvPageShip:
+		return "page.ship"
+	case EvWALAppend:
+		return "wal.append"
+	case EvRetry:
+		return "rpc.retry"
+	case EvTimeout:
+		return "rpc.timeout"
+	case EvCrashReclaim:
+		return "crash.reclaim"
+	default:
+		return "unknown"
+	}
+}
+
+// Category groups kinds into Chrome trace categories.
+func (k EventKind) Category() string {
+	switch k {
+	case EvLockRequest, EvLockBlock, EvLockGrant:
+		return "lock"
+	case EvCallbackSent, EvCallbackBlocked, EvCallbackAcked:
+		return "callback"
+	case EvEscalation, EvDeescalation:
+		return "adaptive"
+	case EvPageShip:
+		return "transfer"
+	case EvWALAppend:
+		return "wal"
+	case EvRetry, EvTimeout:
+		return "resilience"
+	case EvCrashReclaim:
+		return "recovery"
+	default:
+		return "misc"
+	}
+}
+
+// Event is one structured trace record. At is the completion time of the
+// event in simulated (paper) time since the Set's start; Dur, when nonzero,
+// makes the event a span ending at At. Tx is the transaction's "site:seq"
+// identity and Item the lock-hierarchy path of the item involved.
+type Event struct {
+	Kind EventKind
+	At   time.Duration
+	Dur  time.Duration
+	Site string
+	Tx   string
+	Item string
+	Note string
+}
+
+// TraceRing is a bounded ring buffer of events; when full, the oldest
+// events are overwritten and counted as dropped.
+type TraceRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	next    int
+	full    bool
+	dropped uint64
+}
+
+// newTraceRing returns a ring holding up to cap events.
+func newTraceRing(capacity int) *TraceRing {
+	if capacity <= 0 {
+		capacity = DefaultTraceCap
+	}
+	return &TraceRing{buf: make([]Event, capacity)}
+}
+
+// Add records one event, overwriting the oldest when full.
+func (r *TraceRing) Add(ev Event) {
+	r.mu.Lock()
+	if r.full {
+		r.dropped++
+	}
+	r.buf[r.next] = ev
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.mu.Unlock()
+}
+
+// Len reports the number of retained events.
+func (r *TraceRing) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Dropped reports how many events were overwritten.
+func (r *TraceRing) Dropped() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
+}
+
+// Snapshot copies the retained events oldest-first.
+func (r *TraceRing) Snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		out := make([]Event, r.next)
+		copy(out, r.buf[:r.next])
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceRingWraparound(t *testing.T) {
+	r := newTraceRing(4)
+	for i := 0; i < 7; i++ {
+		r.Add(Event{Kind: EvPageShip, At: time.Duration(i), Note: fmt.Sprintf("e%d", i)})
+	}
+	if got := r.Len(); got != 4 {
+		t.Fatalf("Len = %d, want 4", got)
+	}
+	if got := r.Dropped(); got != 3 {
+		t.Fatalf("Dropped = %d, want 3", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d, want 4", len(snap))
+	}
+	for i, ev := range snap {
+		want := fmt.Sprintf("e%d", i+3) // oldest retained is e3
+		if ev.Note != want {
+			t.Errorf("snap[%d].Note = %q, want %q (oldest-first order)", i, ev.Note, want)
+		}
+	}
+}
+
+func TestTraceRingPartialSnapshot(t *testing.T) {
+	r := newTraceRing(8)
+	r.Add(Event{Note: "a"})
+	r.Add(Event{Note: "b"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].Note != "a" || snap[1].Note != "b" {
+		t.Fatalf("partial snapshot = %v", snap)
+	}
+	if r.Dropped() != 0 {
+		t.Fatalf("dropped on non-full ring")
+	}
+}
+
+// TestTraceRingConcurrentWraparound hammers a small ring from many
+// goroutines while snapshotting; run under -race.
+func TestTraceRingConcurrentWraparound(t *testing.T) {
+	r := newTraceRing(64)
+	const (
+		writers = 8
+		perG    = 2000
+	)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			snap := r.Snapshot()
+			if len(snap) > 64 {
+				t.Errorf("snapshot exceeded capacity: %d", len(snap))
+				return
+			}
+		}
+	}()
+	var writerWG sync.WaitGroup
+	for g := 0; g < writers; g++ {
+		writerWG.Add(1)
+		go func(g int) {
+			defer writerWG.Done()
+			for i := 0; i < perG; i++ {
+				r.Add(Event{Kind: EvLockBlock, Site: "s", At: time.Duration(i)})
+			}
+		}(g)
+	}
+	writerWG.Wait()
+	close(stop)
+	wg.Wait()
+	if got := r.Len(); got != 64 {
+		t.Fatalf("Len = %d, want full ring of 64", got)
+	}
+	if total := uint64(64) + r.Dropped(); total != writers*perG {
+		t.Fatalf("retained+dropped = %d, want %d", total, writers*perG)
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	kinds := []EventKind{
+		EvLockRequest, EvLockBlock, EvLockGrant,
+		EvCallbackSent, EvCallbackBlocked, EvCallbackAcked,
+		EvEscalation, EvDeescalation, EvPageShip, EvWALAppend,
+		EvRetry, EvTimeout, EvCrashReclaim,
+	}
+	seen := make(map[string]bool)
+	for _, k := range kinds {
+		s := k.String()
+		if s == "unknown" || s == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+		if seen[s] {
+			t.Errorf("duplicate kind name %q", s)
+		}
+		seen[s] = true
+		if k.Category() == "misc" {
+			t.Errorf("kind %s has no category", s)
+		}
+	}
+}

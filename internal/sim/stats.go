@@ -81,7 +81,8 @@ func (s *Stats) Add(name string, delta int64) { s.counter(name).Add(delta) }
 // Get reads the named counter.
 func (s *Stats) Get(name string) int64 { return s.counter(name).Load() }
 
-// Snapshot copies all counters into a plain map.
+// Snapshot copies all counters into a plain map. Only the copy happens
+// under the mutex; callers format at leisure.
 func (s *Stats) Snapshot() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -92,22 +93,36 @@ func (s *Stats) Snapshot() map[string]int64 {
 	return out
 }
 
+// Counter is one named counter value in a deterministic dump.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Sorted copies all counters into a slice sorted by name. Like Snapshot,
+// no formatting or sorting happens while the mutex is held.
+func (s *Stats) Sorted() []Counter {
+	s.mu.Lock()
+	out := make([]Counter, 0, len(s.counters))
+	for k, v := range s.counters {
+		out = append(out, Counter{Name: k, Value: v.Load()})
+	}
+	s.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
 // String renders the nonzero counters sorted by name, for reports.
 func (s *Stats) String() string {
-	snap := s.Snapshot()
-	names := make([]string, 0, len(snap))
-	for k, v := range snap {
-		if v != 0 {
-			names = append(names, k)
-		}
-	}
-	sort.Strings(names)
 	var b strings.Builder
-	for i, k := range names {
-		if i > 0 {
+	for _, c := range s.Sorted() {
+		if c.Value == 0 {
+			continue
+		}
+		if b.Len() > 0 {
 			b.WriteString(" ")
 		}
-		fmt.Fprintf(&b, "%s=%d", k, snap[k])
+		fmt.Fprintf(&b, "%s=%d", c.Name, c.Value)
 	}
 	return b.String()
 }

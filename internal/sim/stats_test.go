@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestStatsSortedDeterministic(t *testing.T) {
+	s := NewStats()
+	s.Add("zeta", 3)
+	s.Add("alpha", 1)
+	s.Add("mid", 2)
+	s.Add("zeroed", 0)
+	got := s.Sorted()
+	if len(got) != 4 {
+		t.Fatalf("Sorted len = %d, want 4", len(got))
+	}
+	wantOrder := []string{"alpha", "mid", "zeroed", "zeta"}
+	for i, c := range got {
+		if c.Name != wantOrder[i] {
+			t.Fatalf("Sorted[%d] = %q, want %q", i, c.Name, wantOrder[i])
+		}
+	}
+	if got[0].Value != 1 || got[3].Value != 3 {
+		t.Fatalf("Sorted values wrong: %+v", got)
+	}
+	// String skips zeros and matches the sorted order.
+	str := s.String()
+	if str != "alpha=1 mid=2 zeta=3" {
+		t.Fatalf("String = %q", str)
+	}
+	if strings.Contains(str, "zeroed") {
+		t.Fatal("String rendered a zero counter")
+	}
+}
+
+// TestStatsSortedConcurrent dumps while counters churn; run under -race.
+// The dump must be internally consistent (sorted, no duplicates) even as
+// new counters appear.
+func TestStatsSortedConcurrent(t *testing.T) {
+	s := NewStats()
+	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for _, n := range names {
+		wg.Add(1)
+		go func(n string) {
+			defer wg.Done()
+			s.Inc(n)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					s.Inc(n)
+				}
+			}
+		}(n)
+	}
+	for i := 0; i < 200; i++ {
+		dump := s.Sorted()
+		for j := 1; j < len(dump); j++ {
+			if dump[j-1].Name >= dump[j].Name {
+				t.Fatalf("dump not strictly sorted: %q >= %q", dump[j-1].Name, dump[j].Name)
+			}
+		}
+		_ = s.String()
+		_ = s.Snapshot()
+	}
+	close(stop)
+	wg.Wait()
+	if len(s.Sorted()) != len(names) {
+		t.Fatalf("final dump has %d counters, want %d", len(s.Sorted()), len(names))
+	}
+}
