@@ -6,12 +6,16 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-metric ns/op] old.json new.json
+//	benchdiff [-threshold 0.15] [-metric ns/op] [-pgate 40] old.json new.json
 //
 // Benchmarks present in only one report are listed but never fatal (new
 // benchmarks appear, old ones get renamed). Custom throughput metrics
 // (tps:*) are reported for information only: wall-clock figure numbers on
-// shared CI runners are too noisy to gate on.
+// shared CI runners are too noisy to gate on. Latency percentiles are
+// likewise informational by default; -pgate <pct> opts in to failing when
+// any p99-* percentile regresses by more than that percentage (tail
+// latencies are the noisiest numbers a shared runner produces, so the gate
+// is opt-in and its threshold deliberately separate from -threshold).
 package main
 
 import (
@@ -20,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 )
 
 type report struct {
@@ -89,6 +94,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 0.15, "fatal regression fraction (0.15 = 15% slower)")
 	metric := fs.String("metric", "ns/op", "metric to gate on (lower is better)")
+	pgate := fs.Float64("pgate", 0, "fatal p99 regression percent (40 = fail when a p99-* metric grows >40%; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -156,11 +162,15 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "  GONE  %s\n", name)
 	}
 
-	printPercentiles(out, names, oldBy, newBy)
+	pRegressions := printPercentiles(out, names, oldBy, newBy, *pgate)
 
 	if len(regressions) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
 			len(regressions), *threshold*100, joinLines(regressions))
+	}
+	if len(pRegressions) > 0 {
+		return fmt.Errorf("%d p99 percentile(s) regressed more than %.0f%%:\n  %s",
+			len(pRegressions), *pgate, joinLines(pRegressions))
 	}
 	fmt.Fprintf(out, "\nno regression beyond %.0f%%\n", *threshold*100)
 	return nil
@@ -168,11 +178,15 @@ func run(args []string, out *os.File) error {
 
 // printPercentiles reports latency percentile metrics (names like
 // "p50-lockwait-ms") carried by observability benchmarks. The section is
-// informational — percentiles on shared runners are too noisy to gate on —
-// and appears only when both reports carry a percentile for the same
-// benchmark, so diffs of reports without them render exactly as before.
-func printPercentiles(out *os.File, names []string, oldBy, newBy map[string]benchEntry) {
+// informational by default — percentiles on shared runners are too noisy
+// to gate on — and appears only when both reports carry a percentile for
+// the same benchmark, so diffs of reports without them render exactly as
+// before. With pgate > 0, p99-* metrics that grew by more than pgate
+// percent are returned as gating regressions (and flagged FAIL); lower
+// percentiles stay informational at any setting.
+func printPercentiles(out *os.File, names []string, oldBy, newBy map[string]benchEntry, pgate float64) []string {
 	header := false
+	var regressions []string
 	for _, name := range names {
 		ob, ok := oldBy[name]
 		if !ok {
@@ -193,13 +207,25 @@ func printPercentiles(out *os.File, names []string, oldBy, newBy map[string]benc
 		}
 		sort.Strings(keys)
 		if !header {
-			fmt.Fprintf(out, "\nlatency percentiles (informational):\n")
+			if pgate > 0 {
+				fmt.Fprintf(out, "\nlatency percentiles (p99 gate: %.0f%%):\n", pgate)
+			} else {
+				fmt.Fprintf(out, "\nlatency percentiles (informational):\n")
+			}
 			header = true
 		}
 		for _, k := range keys {
-			fmt.Fprintf(out, "  info  %-40s %s %.4g -> %.4g\n", name, k, ob.Metrics[k], nb.Metrics[k])
+			ov, nv := ob.Metrics[k], nb.Metrics[k]
+			status := "info"
+			if pgate > 0 && strings.HasPrefix(k, "p99-") && ov > 0 && (nv-ov)/ov*100 > pgate {
+				status = "FAIL"
+				regressions = append(regressions,
+					fmt.Sprintf("%s: %s %.4g -> %.4g (%+.1f%%)", name, k, ov, nv, (nv-ov)/ov*100))
+			}
+			fmt.Fprintf(out, "  %-5s %-40s %s %.4g -> %.4g\n", status, name, k, ov, nv)
 		}
 	}
+	return regressions
 }
 
 // isPercentileMetric matches metric names of the form pNN-...

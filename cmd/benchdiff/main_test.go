@@ -145,6 +145,71 @@ func TestPercentileSectionDegradesGracefully(t *testing.T) {
 	}
 }
 
+const pgateOldReport = `{
+  "benchmarks": [
+    {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 100,
+     "p50-lockwait-ms": 1.5, "p99-lockwait-ms": 10, "p99-callback-ms": 20}
+  ]
+}`
+
+func TestPGateFailsOnP99Regression(t *testing.T) {
+	oldPath := writeReport(t, "old.json", pgateOldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 100,
+	     "p50-lockwait-ms": 9.9, "p99-lockwait-ms": 16, "p99-callback-ms": 21}
+	  ]
+	}`)
+	out, err := runCaptured(t, []string{"-pgate", "40", oldPath, newPath})
+	if err == nil {
+		t.Fatal("60% p99 regression passed a 40% gate")
+	}
+	if !strings.Contains(err.Error(), "p99-lockwait-ms") {
+		t.Errorf("error does not name the regressed percentile: %v", err)
+	}
+	if strings.Contains(err.Error(), "p99-callback-ms") {
+		t.Errorf("5%% p99 growth flagged by a 40%% gate: %v", err)
+	}
+	if strings.Contains(err.Error(), "p50") {
+		t.Errorf("p50 must stay informational even under -pgate: %v", err)
+	}
+	if !strings.Contains(out, "FAIL") {
+		t.Errorf("gated regression not flagged in the table:\n%s", out)
+	}
+}
+
+func TestPGateWithinThresholdPasses(t *testing.T) {
+	oldPath := writeReport(t, "old.json", pgateOldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 100,
+	     "p50-lockwait-ms": 1.6, "p99-lockwait-ms": 13, "p99-callback-ms": 19}
+	  ]
+	}`)
+	if err := run([]string{"-pgate", "40", oldPath, newPath}, os.Stdout); err != nil {
+		t.Fatalf("30%% p99 growth should pass a 40%% gate: %v", err)
+	}
+}
+
+func TestPGateOffByDefault(t *testing.T) {
+	// The exact scenario that fails under -pgate must pass without it:
+	// percentiles are informational unless the gate is requested.
+	oldPath := writeReport(t, "old.json", pgateOldReport)
+	newPath := writeReport(t, "new.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 100,
+	     "p50-lockwait-ms": 9.9, "p99-lockwait-ms": 16, "p99-callback-ms": 21}
+	  ]
+	}`)
+	out, err := runCaptured(t, []string{oldPath, newPath})
+	if err != nil {
+		t.Fatalf("ungated percentile regression failed the diff: %v", err)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("ungated diff flagged a percentile FAIL:\n%s", out)
+	}
+}
+
 func TestIsPercentileMetric(t *testing.T) {
 	yes := []string{"p50-lockwait-ms", "p99-callback-ms", "p90-x"}
 	no := []string{"ns/op", "tps:fig6", "p-lockwait", "p50", "pages/op", "B/op"}

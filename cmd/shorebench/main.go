@@ -10,6 +10,8 @@
 //	shorebench -all                      # reproduce all ten figures
 //	shorebench -fig 6 -scale 0.25 -measure 20s -small
 //	shorebench -fig 6 -obs               # add latency percentile tables
+//	shorebench -fig 6 -critpath          # commit critical-path breakdown
+//	shorebench -fig 6 -audit             # online protocol-invariant auditor
 //	shorebench -fig 6 -traceout t.json   # write a Chrome/Perfetto trace
 //	shorebench -all -metrics :8377       # live expvar + Prometheus surface
 package main
@@ -51,6 +53,8 @@ func run(args []string) error {
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 		obsOn      = fs.Bool("obs", false, "enable observability: latency histograms and percentile tables")
+		critPath   = fs.Bool("critpath", false, "attribute each point's commit latency to protocol phases (implies -obs)")
+		auditOn    = fs.Bool("audit", false, "run the online protocol-invariant auditor; exit nonzero on violations (implies -obs)")
 		metricsAt  = fs.String("metrics", "", "serve live metrics at this address (/metrics Prometheus text, /debug/vars expvar); implies -obs")
 		traceOut   = fs.String("traceout", "", "write a Chrome trace-event JSON file of the run (open in Perfetto); implies -obs")
 	)
@@ -94,6 +98,8 @@ func run(args []string) error {
 		*obsOn = true
 	}
 	plat.Observe = *obsOn
+	plat.CritPath = *critPath
+	plat.Audit = *auditOn
 
 	if *metricsAt != "" {
 		obs.PublishExpvar()
@@ -136,6 +142,7 @@ func run(args []string) error {
 		progress = nil
 	}
 	var trace []obs.Event
+	var auditViolations int64
 	for _, fig := range figs {
 		if *dropRate > 0 {
 			fig.Faults = &transport.FaultPlan{Seed: plat.Seed, DropProb: *dropRate}
@@ -151,6 +158,11 @@ func run(args []string) error {
 		fmt.Println()
 		fmt.Print(res.Render())
 		fmt.Printf("expected shape: %s\n\n", fig.Expectation)
+		for _, s := range res.Series {
+			for _, p := range s.Points {
+				auditViolations += p.AuditViolations
+			}
+		}
 		if *traceOut != "" {
 			for _, ev := range res.Trace {
 				ev.Site = fmt.Sprintf("fig%d/%s", fig.Number, ev.Site)
@@ -171,6 +183,12 @@ func run(args []string) error {
 			return fmt.Errorf("traceout: %w", err)
 		}
 		fmt.Printf("wrote %d trace events to %s (open in https://ui.perfetto.dev)\n", len(trace), *traceOut)
+	}
+	if *auditOn {
+		if auditViolations > 0 {
+			return fmt.Errorf("invariant audit: %d violations (see reports above)", auditViolations)
+		}
+		fmt.Println("invariant audit: clean")
 	}
 	return nil
 }

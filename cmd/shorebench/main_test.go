@@ -1,6 +1,11 @@
 package main
 
-import "testing"
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
 
 func TestRunListConfig(t *testing.T) {
 	if err := run([]string{"-list-config"}); err != nil {
@@ -14,5 +19,34 @@ func TestRunRejectsBadFigure(t *testing.T) {
 	}
 	if err := run([]string{}); err == nil {
 		t.Error("no action accepted")
+	}
+}
+
+// TestRunObsSmoke runs one scaled-down figure with the full observability
+// stack — critical-path attribution, the invariant auditor, and a Chrome
+// trace — and checks the trace carries cross-lane flow events ("ph":"s"),
+// which is what links a commit's spans across sites in Perfetto.
+func TestRunObsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a real figure sweep")
+	}
+	tracePath := filepath.Join(t.TempDir(), "trace.json")
+	err := run([]string{
+		"-fig", "8", "-small", "-scale", "0.02", "-quiet",
+		"-warmup", "20ms", "-measure", "150ms",
+		"-critpath", "-audit", "-traceout", tracePath,
+	})
+	if err != nil {
+		t.Fatalf("observed figure run failed: %v", err)
+	}
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file not written: %v", err)
+	}
+	if !strings.Contains(string(data), `"ph":"s"`) {
+		t.Error("trace has no flow-start events; cross-site causality lost")
+	}
+	if !strings.Contains(string(data), `"ph":"X"`) {
+		t.Error("trace has no duration spans")
 	}
 }

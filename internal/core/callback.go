@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"adaptivecc/internal/lock"
@@ -24,6 +25,7 @@ type cbOp struct {
 	id     uint64
 	tx     lock.TxID
 	item   storage.ItemID
+	sc     obs.SpanContext // the round's span
 	events chan cbEvent
 
 	mu      sync.Mutex
@@ -43,6 +45,13 @@ func (op *cbOp) clearWaiting(client string) bool {
 	delete(op.waiting, client)
 	return true
 }
+
+// auditHookForgetOneAck, when armed, makes the next callback round forget
+// one client's outstanding ack right after the callbacks are sent: the
+// round completes "ok" without having heard from the lexicographically
+// first client, which is exactly the protocol damage the callback-acks
+// invariant exists to catch. Test-only; fires once, then disarms itself.
+var auditHookForgetOneAck atomic.Bool
 
 // blockedKey dedups callback-blocked replies: a client reports each item
 // it blocks on at most once per operation, so a second (Client, Item)
@@ -97,7 +106,7 @@ func isCallbackThread(t lock.TxID) bool { return strings.HasPrefix(t.Site, "#cb/
 // "sneaked in" and been shipped the page, violating the serializability
 // objective of §4.2.2; the ship-counter comparison detects this and the
 // callbacks are repeated (§4.3.2).
-func (p *Peer) runCallbackOp(txid lock.TxID, item, pageID storage.ItemID, requester string) (bool, error) {
+func (p *Peer) runCallbackOp(txid lock.TxID, item, pageID storage.ItemID, requester string, sc obs.SpanContext) (bool, error) {
 	if item.Level == storage.LevelObject {
 		p.setPendingCB(item, txid)
 		defer p.clearPendingCB(item)
@@ -111,7 +120,7 @@ func (p *Peer) runCallbackOp(txid lock.TxID, item, pageID storage.ItemID, reques
 			p.stats.Inc(sim.CtrCallbackRounds)
 		}
 		shipsBefore := p.ct.shipCount(pageID)
-		downgraded, err := p.callbackRound(txid, item, pageID, pageID, clients)
+		downgraded, err := p.callbackRound(txid, item, pageID, pageID, clients, sc)
 		if err != nil {
 			return false, err
 		}
@@ -123,7 +132,7 @@ func (p *Peer) runCallbackOp(txid lock.TxID, item, pageID storage.ItemID, reques
 
 // runFileCallbackOp purges a whole file from every caching client before
 // an explicit EX file (or volume) lock is granted.
-func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester string) error {
+func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester string, sc obs.SpanContext) error {
 	for {
 		names := p.ct.fileClientsOf(file, requester)
 		if len(names) == 0 {
@@ -134,7 +143,7 @@ func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester 
 			clients[c] = 0 // file removals are unguarded: the EX file lock
 			// already blocks re-ships of the file's pages at the server.
 		}
-		if _, err := p.callbackRound(txid, file, file, file, clients); err != nil {
+		if _, err := p.callbackRound(txid, file, file, file, clients, sc); err != nil {
 			return err
 		}
 		// File callbacks ack only after purging every page of the file; a
@@ -146,10 +155,15 @@ func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester 
 // callbackRound sends one round of callbacks for item to clients and
 // collects their acknowledgments, running the lock-replication dance for
 // every "callback-blocked" reply. scope is the copy-table key invalidated
-// acks refer to (the page, or the file for file callbacks).
-func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID, clients map[string]uint64) (bool, error) {
+// acks refer to (the page, or the file for file callbacks). The round is
+// one span under sc: every callback sent, ack received, and conflict
+// report is a leaf under it, and the closing round event carries "ok" or
+// the error — the invariant auditor matches the ack set against the send
+// set only for rounds that claim success.
+func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID, clients map[string]uint64, sc obs.SpanContext) (downgraded bool, err error) {
+	rsc := p.obs.StartSpan(txid.String(), sc)
 	op := &cbOp{
-		id: p.newOpID(), tx: txid, item: item,
+		id: p.newOpID(), tx: txid, item: item, sc: rsc,
 		events:  make(chan cbEvent, len(clients)*4),
 		waiting: make(map[string]bool, len(clients)),
 	}
@@ -159,19 +173,26 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 	p.registerOp(op)
 	defer p.unregisterOp(op)
 
-	var roundStart time.Time
 	if p.obs.Active() {
-		roundStart = time.Now()
-		defer func() { p.obs.Observe(obs.HistCallbackRound, time.Since(roundStart)) }()
+		roundStart := time.Now()
+		defer func() {
+			d := time.Since(roundStart)
+			p.obs.Observe(obs.HistCallbackRound, d)
+			note := "ok"
+			if err != nil {
+				note = err.Error()
+			}
+			p.obs.EmitSpan(obs.EvCallbackRound, rsc, item.String(), d, "", note)
+		}()
 	}
 	for c := range clients {
 		p.stats.Inc(sim.CtrCallbacks)
 		if p.obs.Active() {
-			p.obs.Emit(obs.EvCallbackSent, txid.String(), item.String(), 0, "to "+c)
+			p.obs.EmitSpan(obs.EvCallbackSent, rsc.Under(), item.String(), 0, c, "")
 		}
 		_ = p.sys.net.Send(transport.Message{
 			From: p.name, To: c, Kind: kindCallback,
-			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID},
+			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID, Span: rsc},
 		}, transport.AnyPath)
 	}
 
@@ -179,10 +200,20 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		pendingAcks = len(clients)
 		convCh      = make(chan error, len(clients)*2+2)
 		convOut     = 0
-		downgraded  = false
 		firstErr    error
 		blockedSeen = make(map[blockedKey]bool)
 	)
+	if auditHookForgetOneAck.CompareAndSwap(true, false) && len(clients) > 0 {
+		victim := ""
+		for c := range clients {
+			if victim == "" || c < victim {
+				victim = c
+			}
+		}
+		if op.clearWaiting(victim) {
+			pendingAcks-- // the real ack now dedups away; the round "succeeds" short one ack
+		}
+	}
 	// Under the resilience discipline the round must not hang forever on a
 	// client that will never answer (lost callback, lost ack, silent death):
 	// a timer that resets on every event aborts the blocking request when
@@ -219,11 +250,11 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 					debugLog("callback ack", "op", op.id, "client", ev.ack.Client, "invalidated", ev.ack.Invalidated)
 				}
 				if p.obs.Active() {
-					note := "from " + ev.ack.Client
+					note := ""
 					if ev.ack.Invalidated {
-						note += " invalidated"
+						note = "invalidated"
 					}
-					p.obs.Emit(obs.EvCallbackAcked, txid.String(), item.String(), 0, note)
+					p.obs.EmitSpan(obs.EvCallbackAcked, rsc.Under(), item.String(), 0, ev.ack.Client, note)
 				}
 				pendingAcks--
 				if ev.ack.Invalidated {
@@ -242,7 +273,7 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 				blockedSeen[k] = true
 				downgraded = true
 				if p.obs.Active() {
-					p.obs.Emit(obs.EvCallbackBlocked, txid.String(), ev.blocked.Item.String(), 0, "at "+ev.blocked.Client)
+					p.obs.EmitSpan(obs.EvCallbackBlocked, rsc.Under(), ev.blocked.Item.String(), 0, ev.blocked.Client, "")
 				}
 				p.handleBlocked(op, ev.blocked, convCh, &convOut)
 			}
@@ -270,11 +301,11 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		// write permission (the last conversion may have been downgraded by
 		// a later blocked reply).
 		if item != pageID && item.Level == storage.LevelObject {
-			if err := p.lockGuarded(op.tx, pageID, lock.IX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+			if err := p.lockGuarded(op.tx, pageID, lock.IX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout(), Span: rsc}); err != nil {
 				return downgraded, err
 			}
 		}
-		if err := p.lockGuarded(op.tx, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+		if err := p.lockGuarded(op.tx, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout(), Span: rsc}); err != nil {
 			return downgraded, err
 		}
 	}
@@ -330,16 +361,16 @@ func (p *Peer) handleBlocked(op *cbOp, bl *callbackBlocked, convCh chan error, c
 	}
 
 	timeout := p.waitTimeout()
-	txid, item, blockedItem := op.tx, op.item, bl.Item
+	txid, item, blockedItem, rsc := op.tx, op.item, bl.Item, op.sc
 	*convOut++
 	go func() {
 		if twoLevel {
-			if err := p.lockGuarded(txid, blockedItem, lock.IX, lock.Options{SkipAncestors: true, Timeout: timeout}); err != nil {
+			if err := p.lockGuarded(txid, blockedItem, lock.IX, lock.Options{SkipAncestors: true, Timeout: timeout, Span: rsc}); err != nil {
 				convCh <- err
 				return
 			}
 		}
-		convCh <- p.lockGuarded(txid, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: timeout})
+		convCh <- p.lockGuarded(txid, item, lock.EX, lock.Options{SkipAncestors: true, Timeout: timeout, Span: rsc})
 	}()
 }
 
@@ -404,8 +435,15 @@ func downgradeFor(cur lock.Mode, conflicts []lock.Mode) lock.Mode {
 // it runs in its own goroutine, may block on local locks (reporting the
 // conflict to the server first), invalidates the page or object, and acks.
 func (p *Peer) handleCallback(rq callbackReq) {
+	hsc := p.obs.StartSpan(rq.Tx.String(), rq.Span)
+	if p.obs.Active() {
+		start := time.Now()
+		defer func() {
+			p.obs.EmitSpan(obs.EvCallbackHandled, hsc, rq.Item.String(), time.Since(start), rq.Server, "")
+		}()
+	}
 	if rq.Item.Level == storage.LevelFile || rq.Item.Level == storage.LevelVolume {
-		p.handleFileCallback(rq)
+		p.handleFileCallback(rq, hsc)
 		return
 	}
 	cbid := cbThreadID(rq.Server, rq.OpID)
@@ -443,7 +481,7 @@ func (p *Peer) handleCallback(rq callbackReq) {
 			// PS or an explicit EX page lock: the whole page must go; block
 			// at the page level after reporting the conflict.
 			p.sendBlocked(rq, page, lock.EX, cbid)
-			if err := p.locks.Lock(cbid, page, lock.EX, lock.Options{SkipAncestors: true}); err != nil {
+			if err := p.locks.Lock(cbid, page, lock.EX, lock.Options{SkipAncestors: true, Span: hsc}); err != nil {
 				p.sendAck(rq, false)
 				return
 			}
@@ -456,14 +494,14 @@ func (p *Peer) handleCallback(rq callbackReq) {
 	// SH page lock — hierarchical callbacks), then EX on the object.
 	if err := p.locks.Lock(cbid, page, lock.IX, lock.Options{NoWait: true, SkipAncestors: true}); err != nil {
 		p.sendBlocked(rq, page, lock.IX, cbid)
-		if err := p.locks.Lock(cbid, page, lock.IX, lock.Options{SkipAncestors: true}); err != nil {
+		if err := p.locks.Lock(cbid, page, lock.IX, lock.Options{SkipAncestors: true, Span: hsc}); err != nil {
 			p.sendAck(rq, false)
 			return
 		}
 	}
 	if err := p.locks.Lock(cbid, rq.Item, lock.EX, lock.Options{NoWait: true, SkipAncestors: true}); err != nil {
 		p.sendBlocked(rq, rq.Item, lock.EX, cbid)
-		if err := p.locks.Lock(cbid, rq.Item, lock.EX, lock.Options{SkipAncestors: true}); err != nil {
+		if err := p.locks.Lock(cbid, rq.Item, lock.EX, lock.Options{SkipAncestors: true, Span: hsc}); err != nil {
 			p.sendAck(rq, false)
 			return
 		}
@@ -515,14 +553,14 @@ func (p *Peer) registerRaceLocked(page storage.ItemID, item storage.ItemID, page
 }
 
 // handleFileCallback purges every cached page of a file (§4.3.1).
-func (p *Peer) handleFileCallback(rq callbackReq) {
+func (p *Peer) handleFileCallback(rq callbackReq, hsc obs.SpanContext) {
 	cbid := cbThreadID(rq.Server, rq.OpID)
 	defer p.locks.ReleaseAll(cbid)
 
 	file := rq.Item
 	if err := p.locks.Lock(cbid, file, lock.EX, lock.Options{NoWait: true, SkipAncestors: true}); err != nil {
 		p.sendBlocked(rq, file, lock.EX, cbid)
-		if err := p.locks.Lock(cbid, file, lock.EX, lock.Options{SkipAncestors: true}); err != nil {
+		if err := p.locks.Lock(cbid, file, lock.EX, lock.Options{SkipAncestors: true, Span: hsc}); err != nil {
 			p.sendAck(rq, false)
 			return
 		}

@@ -61,6 +61,13 @@ func (t *Tx) Read(obj storage.ItemID) ([]byte, error) {
 	}
 	p := t.p
 	p.stats.Inc(sim.CtrObjectReads)
+	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	if p.obs.Active() {
+		start := time.Now()
+		defer func() {
+			p.obs.EmitSpan(obs.EvClientOp, sc, obj.String(), time.Since(start), "", "read")
+		}()
+	}
 	pageID := obj.PageID()
 	owner, err := p.sys.ownerOf(obj)
 	if err != nil {
@@ -70,7 +77,7 @@ func (t *Tx) Read(obj storage.ItemID) ([]byte, error) {
 
 	// Local lock first (§4.1.1), so that a concurrent callback cannot
 	// invalidate the object between the cache check and the read.
-	if err := p.locks.Lock(t.id, target, lock.SH, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.locks.Lock(t.id, target, lock.SH, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return nil, err
 	}
 
@@ -78,10 +85,10 @@ func (t *Tx) Read(obj storage.ItemID) ([]byte, error) {
 		if err := t.inner.Spread(owner); err != nil {
 			return nil, err
 		}
-		if _, err := p.serveRequest(p.name, readReq{Tx: t.id, Obj: target}); err != nil {
+		if _, err := p.serveRequest(p.name, sc, readReq{Tx: t.id, Obj: target}); err != nil {
 			return nil, err
 		}
-		return p.srvObjectBytes(obj)
+		return p.srvObjectBytes(obj, sc)
 	}
 
 	if data, ok := p.pool.ReadObject(pageID, obj.Slot); ok {
@@ -93,7 +100,7 @@ func (t *Tx) Read(obj storage.ItemID) ([]byte, error) {
 	}
 
 	p.cs.beginRead(pageID)
-	body, err := p.call(owner, readReq{Tx: t.id, Obj: target, WholePage: target.Level == storage.LevelPage})
+	body, err := p.call(owner, sc, readReq{Tx: t.id, Obj: target, WholePage: target.Level == storage.LevelPage})
 	if err != nil {
 		p.cs.mu.Lock()
 		p.cs.endReadLocked(pageID)
@@ -235,6 +242,13 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 	}
 	p := t.p
 	p.stats.Inc(sim.CtrObjectWrites)
+	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	if p.obs.Active() {
+		start := time.Now()
+		defer func() {
+			p.obs.EmitSpan(obs.EvClientOp, sc, obj.String(), time.Since(start), "", "write")
+		}()
+	}
 	pageID := obj.PageID()
 	owner, err := p.sys.ownerOf(obj)
 	if err != nil {
@@ -242,7 +256,7 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 	}
 	target := t.lockTarget(obj)
 
-	if err := p.locks.Lock(t.id, target, lock.EX, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.locks.Lock(t.id, target, lock.EX, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return err
 	}
 
@@ -251,15 +265,15 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 			return err
 		}
 		t.inner.MarkWrote(owner)
-		if _, err := p.serveRequest(p.name, writeReq{Tx: t.id, Obj: target, HavePage: true, HaveObj: true}); err != nil {
+		if _, err := p.serveRequest(p.name, sc, writeReq{Tx: t.id, Obj: target, HavePage: true, HaveObj: true}); err != nil {
 			return err
 		}
-		before, err := p.srvObjectBytes(obj)
+		before, err := p.srvObjectBytes(obj, sc)
 		if err != nil {
 			return err
 		}
 		p.logCache.Append(wal.Record{Tx: t.id, Object: obj, Before: before, After: append([]byte(nil), data...)})
-		p.installBytes(obj, data, false)
+		p.installBytes(obj, data, false, sc)
 		return nil
 	}
 
@@ -272,7 +286,7 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 	}
 	if t.hasWritePermission(obj, pageID) && objCached {
 		p.stats.Inc(sim.CtrEscalationSaved)
-	} else if err := t.requestWritePermission(obj, pageID, target, owner); err != nil {
+	} else if err := t.requestWritePermission(obj, pageID, target, owner, sc); err != nil {
 		return err
 	}
 
@@ -301,7 +315,7 @@ func (t *Tx) hasWritePermission(obj, pageID storage.ItemID) bool {
 }
 
 // requestWritePermission performs the server round trip of Fig. 3.
-func (t *Tx) requestWritePermission(obj, pageID, target storage.ItemID, owner string) error {
+func (t *Tx) requestWritePermission(obj, pageID, target storage.ItemID, owner string, sc obs.SpanContext) error {
 	p := t.p
 	havePage := p.pool.Contains(pageID)
 	if p.cfg.Protocol.objectTransfers() {
@@ -316,7 +330,7 @@ func (t *Tx) requestWritePermission(obj, pageID, target storage.ItemID, owner st
 	if !havePage {
 		p.cs.beginRead(pageID) // the reply will carry the page
 	}
-	body, err := p.call(owner, writeReq{Tx: t.id, Obj: target, HavePage: havePage, HaveObj: haveObj})
+	body, err := p.call(owner, sc, writeReq{Tx: t.id, Obj: target, HavePage: havePage, HaveObj: haveObj})
 	p.cs.endWrite(pageID)
 	if err != nil {
 		if !havePage {
@@ -395,10 +409,15 @@ func (t *Tx) LockItem(item storage.ItemID, mode lock.Mode) error {
 		return fmt.Errorf("core: object locks are implicit; use Read/Write")
 	}
 	p := t.p
+	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
 	if p.obs.Active() {
-		p.obs.Emit(obs.EvLockRequest, t.id.String(), item.String(), 0, mode.String())
+		p.obs.EmitSpan(obs.EvLockRequest, sc.Under(), item.String(), 0, "", mode.String())
+		start := time.Now()
+		defer func() {
+			p.obs.EmitSpan(obs.EvClientOp, sc, item.String(), time.Since(start), "", "lock "+mode.String())
+		}()
 	}
-	if err := p.locks.Lock(t.id, item, mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.locks.Lock(t.id, item, mode, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return err
 	}
 	owner, err := p.sys.ownerOf(item)
@@ -428,7 +447,7 @@ func (t *Tx) LockItem(item storage.ItemID, mode lock.Mode) error {
 			// Propagated SH page lock: served as a whole-page read so the
 			// page becomes fully cached here.
 			p.cs.beginRead(item)
-			body, err := p.call(owner, readReq{Tx: t.id, Obj: item, WholePage: true})
+			body, err := p.call(owner, sc, readReq{Tx: t.id, Obj: item, WholePage: true})
 			if err != nil {
 				p.cs.mu.Lock()
 				p.cs.endReadLocked(item)
@@ -452,10 +471,10 @@ func (t *Tx) LockItem(item storage.ItemID, mode lock.Mode) error {
 		t.inner.MarkWrote(owner)
 	}
 	if local {
-		if _, err := p.serveRequest(p.name, lockReq{Tx: t.id, Item: item, Mode: mode}); err != nil {
+		if _, err := p.serveRequest(p.name, sc, lockReq{Tx: t.id, Item: item, Mode: mode}); err != nil {
 			return err
 		}
-	} else if _, err := p.call(owner, lockReq{Tx: t.id, Item: item, Mode: mode}); err != nil {
+	} else if _, err := p.call(owner, sc, lockReq{Tx: t.id, Item: item, Mode: mode}); err != nil {
 		return err
 	}
 	if !local && item.Level == storage.LevelPage && mode == lock.EX {
@@ -476,9 +495,17 @@ func (t *Tx) Commit() error {
 	if err := t.inner.BeginCommit(); err != nil {
 		return err
 	}
+	// The commit span is a trace root: the critical-path analyzer treats a
+	// trace as a commit iff it contains an EvCommit span, and attributes the
+	// root's exclusive time to the commit itself.
+	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
 	if p.obs.Active() {
 		start := time.Now()
-		defer func() { p.obs.Observe(obs.HistCommit, time.Since(start)) }()
+		defer func() {
+			d := time.Since(start)
+			p.obs.Observe(obs.HistCommit, d)
+			p.obs.EmitSpan(obs.EvCommit, sc, t.id.String(), d, "", "")
+		}()
 	}
 	recs := p.logCache.Take(t.id)
 	byOwner := make(map[string][]wal.Record)
@@ -491,15 +518,15 @@ func (t *Tx) Commit() error {
 	}
 	for owner, rs := range byOwner {
 		if owner == p.name {
-			p.appendAndRedo(rs)
+			p.appendAndRedo(rs, sc)
 			continue
 		}
-		if _, err := p.call(owner, prepareReq{Tx: t.id, Records: rs}); err != nil {
-			t.finish(false, recs)
+		if _, err := p.call(owner, sc, prepareReq{Tx: t.id, Records: rs}); err != nil {
+			t.finish(false, recs, sc)
 			return fmt.Errorf("core: prepare at %s: %w", owner, err)
 		}
 	}
-	t.finish(true, recs)
+	t.finish(true, recs, sc)
 	p.stats.Inc(sim.CtrCommits)
 	return nil
 }
@@ -529,21 +556,21 @@ func (t *Tx) Abort() error {
 		p.pool.SetDirtySlot(pageID, r.Object.Slot, false)
 		p.cs.mu.Unlock()
 	}
-	t.finish(false, nil)
+	t.finish(false, nil, obs.SpanContext{})
 	p.stats.Inc(sim.CtrAborts)
 	return nil
 }
 
 // finish runs 2PC phase two (or abort) at every owner and releases local
 // state.
-func (t *Tx) finish(commit bool, recs []wal.Record) {
+func (t *Tx) finish(commit bool, recs []wal.Record, sc obs.SpanContext) {
 	p := t.p
 	for _, owner := range t.inner.SpreadSet() {
 		if owner == p.name {
 			_, _ = p.srvFinish(p.name, finishReq{Tx: t.id, Commit: commit})
 			continue
 		}
-		if _, err := p.call(owner, finishReq{Tx: t.id, Commit: commit}); err != nil {
+		if _, err := p.call(owner, sc, finishReq{Tx: t.id, Commit: commit}); err != nil {
 			// The owner is unreachable: either it crashed (its whole lock
 			// table died with it, and crash reclamation presumes this
 			// transaction aborted) or the retries were exhausted against a
@@ -578,7 +605,7 @@ func (t *Tx) finish(commit bool, recs []wal.Record) {
 	}
 	for _, owner := range p.takeReplicated(t.id) {
 		if !spread[owner] {
-			p.sendRelease(t.id, owner)
+			p.sendRelease(t.id, owner, sc)
 		}
 	}
 }

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/audit"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -135,6 +136,13 @@ type Config struct {
 	// rings, metrics registration). The zero value keeps it off: no
 	// registries exist and every instrumentation site is a nil check.
 	Obs obs.Config
+
+	// Audit, when non-nil, attaches the online invariant auditor: it is
+	// subscribed to the event stream (implying Obs.Enabled) and given a
+	// state view of every peer, so Sweep/Check can verify the protocol's
+	// consistency invariants while the system runs. Nil (the default)
+	// leaves the protocol entirely audit-free.
+	Audit *audit.Auditor
 }
 
 // resilient reports whether the request/reply resilience discipline
@@ -182,6 +190,18 @@ func (c Config) withDefaults() Config {
 		}
 		if c.CallbackTimeout == 0 {
 			c.CallbackTimeout = 4 * c.RPCTimeout
+		}
+	}
+	if c.Audit != nil {
+		// The auditor's event-driven half rides the obs sink; chain rather
+		// than replace a caller-provided sink.
+		c.Obs.Enabled = true
+		aud, prev := c.Audit, c.Obs.Sink
+		c.Obs.Sink = func(ev obs.Event) {
+			aud.OnEvent(ev)
+			if prev != nil {
+				prev(ev)
+			}
 		}
 	}
 	if c.Obs.Enabled && c.Obs.TimeScale == 0 {
@@ -264,6 +284,9 @@ func (s *System) AddPeerWithPools(name string, serverPoolPages, clientPoolPages 
 		s.owners[v.ID] = name
 	}
 	s.peers[name] = p
+	if s.cfg.Audit != nil {
+		s.cfg.Audit.AttachView(peerView{p})
+	}
 	return p, nil
 }
 

@@ -20,6 +20,7 @@ import (
 
 	"adaptivecc/internal/buffer"
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -406,7 +407,7 @@ func scenarioClosedNetwork(t *testing.T, add func(*sim.Stats)) {
 // to a volume it does not own: the write-back must fail and be counted.
 func scenarioWriteBackError(t *testing.T, add func(*sim.Stats)) {
 	tc := newCluster(t, PS, 1, 4)
-	pg, err := tc.srv.srvFetchPage(pageID(0))
+	pg, err := tc.srv.srvFetchPage(pageID(0), obs.SpanContext{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -12,6 +12,8 @@ import (
 
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/audit"
+	"adaptivecc/internal/obs/critpath"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -115,6 +117,15 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 	if traceOut != "" {
 		opts = append(opts, func(c *Config) { c.Obs = obs.Config{Enabled: true} })
 	}
+	// Every cell runs under the invariant auditor (FAULT_AUDIT=off opts
+	// out): whatever the fabric does to the messages, the consistency
+	// invariants must hold — sweeping *while* the workers run, not only at
+	// quiescence.
+	var aud *audit.Auditor
+	if os.Getenv("FAULT_AUDIT") != "off" {
+		aud = audit.New()
+		opts = append(opts, func(c *Config) { c.Audit = aud })
+	}
 	// Page 4 is reserved for the crash cell's pinned transaction; the
 	// oracle's workers touch pages 0-3 only.
 	tc := newCluster(t, proto, 3, 5, opts...)
@@ -189,7 +200,30 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 			t.Fatal(err)
 		}
 	}
+
+	stopSweep := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	if aud != nil {
+		sweepWG.Add(1)
+		go func() {
+			defer sweepWG.Done()
+			tick := time.NewTicker(75 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSweep:
+					return
+				case <-tick.C:
+					aud.Sweep()
+				}
+			}
+		}()
+	}
 	wg.Wait()
+	if aud != nil {
+		close(stopSweep)
+		sweepWG.Wait()
+	}
 
 	for ci := range tc.clients {
 		name := tc.clients[ci].Name()
@@ -245,6 +279,15 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 		}
 	}
 
+	// The online auditor must end the cell with a clean slate: a final
+	// exact sweep at quiescence, then zero violations across the run.
+	if aud != nil {
+		aud.Check()
+		if n := aud.Total(); n != 0 {
+			t.Errorf("%s under %s faults violated consistency invariants:\n%s", proto, kind, aud.Report())
+		}
+	}
+
 	if traceOut != "" {
 		set := tc.sys.Obs()
 		if set == nil {
@@ -262,6 +305,18 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 			t.Fatalf("trace out: %v", err)
 		}
 		t.Logf("wrote %d trace events to %s (%d dropped by ring bound)", len(events), traceOut, set.DroppedEvents())
+	}
+	// CI archives the commit critical-path breakdown next to the trace.
+	if cpOut := os.Getenv("FAULT_CRITPATH_OUT"); cpOut != "" {
+		set := tc.sys.Obs()
+		if set == nil {
+			t.Fatal("FAULT_CRITPATH_OUT set but observability is off")
+		}
+		bd := critpath.Analyze(set.TraceEvents())
+		if err := os.WriteFile(cpOut, []byte(bd.Table()), 0o644); err != nil {
+			t.Fatalf("critpath out: %v", err)
+		}
+		t.Logf("wrote critical-path breakdown (%d commits) to %s", bd.Commits, cpOut)
 	}
 }
 
@@ -321,7 +376,7 @@ func TestCrashUndoesShippedRecords(t *testing.T) {
 		if len(recs) == 0 {
 			t.Fatal("no log records generated")
 		}
-		if _, err := c1.call("srv", prepareReq{Tx: x.ID(), Records: recs}); err != nil {
+		if _, err := c1.call("srv", obs.SpanContext{}, prepareReq{Tx: x.ID(), Records: recs}); err != nil {
 			t.Fatal(err)
 		}
 		if n := tc.srv.slog.ActiveRecords(x.ID()); n == 0 {

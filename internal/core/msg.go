@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/wal"
 )
@@ -83,10 +84,13 @@ type purgeNotice struct {
 }
 
 // rpcEnvelope frames every client->server request, with piggybacked purge
-// notices.
+// notices. Span is the sender-side RPC span: the receiver parents its
+// serve span under it, joining the two sites' trace lanes into one causal
+// tree. It is the zero value when observability is off.
 type rpcEnvelope struct {
 	ReqID uint64
 	From  string
+	Span  obs.SpanContext
 	Pig   []purgeNotice
 	Body  any
 }
@@ -186,13 +190,16 @@ type deescResp struct {
 }
 
 // callbackReq asks a client to invalidate Item (an object — possibly the
-// page's dummy object — or, under PS, the whole page).
+// page's dummy object — or, under PS, the whole page). Span is the
+// server-side callback-round span; the client's handling span is parented
+// under it so the fan-out appears as one tree across sites.
 type callbackReq struct {
 	OpID   uint64
 	Server string
 	Tx     lock.TxID // the calling-back transaction
 	Item   storage.ItemID
 	Page   storage.ItemID
+	Span   obs.SpanContext
 }
 
 // callbackAck completes one client's part of a callback operation.
@@ -211,4 +218,27 @@ type callbackBlocked struct {
 	Client    string
 	Item      storage.ItemID
 	Conflicts []lockReplica // the local locks that block the callback
+}
+
+// reqName names a request body for trace annotations. Called only on
+// observability paths.
+func reqName(body any) string {
+	switch body.(type) {
+	case readReq:
+		return "read"
+	case writeReq:
+		return "write"
+	case lockReq:
+		return "lock"
+	case prepareReq:
+		return "prepare"
+	case finishReq:
+		return "finish"
+	case releaseReq:
+		return "release"
+	case deescReq:
+		return "deesc"
+	default:
+		return fmt.Sprintf("%T", body)
+	}
 }

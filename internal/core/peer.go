@@ -237,7 +237,20 @@ func (p *Peer) handle(m transport.Message) {
 		}
 		p.processPiggyback(env.From, env.Pig)
 		p.cpu.Use(p.cfg.Costs.LockCPU)
-		body, err := p.serveRequest(env.From, env.Body)
+		// The serve span joins this site's lane to the sender's RPC span.
+		ssc := p.obs.StartSpan("", env.Span)
+		var serveStart time.Time
+		if p.obs.Active() {
+			serveStart = time.Now()
+		}
+		body, err := p.serveRequest(env.From, ssc, env.Body)
+		if p.obs.Active() {
+			note := reqName(env.Body)
+			if err != nil {
+				note += ": " + err.Error()
+			}
+			p.obs.EmitSpan(obs.EvServe, ssc, "", time.Since(serveStart), env.From, note)
+		}
 		code, detail := encodeErr(err)
 		reply := rpcReply{ReqID: env.ReqID, Code: code, Detail: detail, Body: body}
 		if dedup {
@@ -323,12 +336,15 @@ func replyCarriesPage(body any) bool {
 }
 
 // call performs a synchronous request to another peer, piggybacking any
-// queued purge notices for that destination. Without the resilience
-// discipline it waits for the reply forever (the fabric is reliable); with
-// it, each attempt is bounded by RPCTimeout and the same envelope — same
-// ReqID, same piggyback — is resent with exponential backoff, relying on
-// the receiver's dedup table for at-least-once → exactly-once semantics.
-func (p *Peer) call(dest string, body any) (any, error) {
+// queued purge notices for that destination. sc is the caller's span
+// context: the round trip becomes a child RPC span under it, carried in
+// the envelope so the receiver's serve span joins the same trace. Without
+// the resilience discipline the call waits for the reply forever (the
+// fabric is reliable); with it, each attempt is bounded by RPCTimeout and
+// the same envelope — same ReqID, same piggyback, same span — is resent
+// with exponential backoff, relying on the receiver's dedup table for
+// at-least-once → exactly-once semantics.
+func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 	if dest == p.name {
 		return nil, fmt.Errorf("core: self-call at %s", p.name)
 	}
@@ -344,7 +360,8 @@ func (p *Peer) call(dest string, body any) (any, error) {
 		p.mu.Unlock()
 	}
 
-	env := rpcEnvelope{ReqID: id, From: p.name, Pig: p.cs.takePurges(dest), Body: body}
+	rsc := p.obs.StartSpan("", sc)
+	env := rpcEnvelope{ReqID: id, From: p.name, Span: rsc, Pig: p.cs.takePurges(dest), Body: body}
 	msg := transport.Message{From: p.name, To: dest, Kind: kindRequest, Payload: env}
 	var rpcStart time.Time
 	if p.obs.Active() {
@@ -358,7 +375,9 @@ func (p *Peer) call(dest string, body any) (any, error) {
 	if !p.cfg.resilient() {
 		reply := <-ch
 		if p.obs.Active() {
-			p.obs.Observe(obs.HistRPC, time.Since(rpcStart))
+			d := time.Since(rpcStart)
+			p.obs.Observe(obs.HistRPC, d)
+			p.obs.EmitSpan(obs.EvRPC, rsc, "", d, dest, reqName(body))
 		}
 		return reply.Body, decodeErr(reply.Code, reply.Detail)
 	}
@@ -371,7 +390,9 @@ func (p *Peer) call(dest string, body any) (any, error) {
 		select {
 		case reply := <-ch:
 			if p.obs.Active() {
-				p.obs.Observe(obs.HistRPC, time.Since(rpcStart))
+				d := time.Since(rpcStart)
+				p.obs.Observe(obs.HistRPC, d)
+				p.obs.EmitSpan(obs.EvRPC, rsc, "", d, dest, reqName(body))
 			}
 			return reply.Body, decodeErr(reply.Code, reply.Detail)
 		case <-timer.C:
@@ -379,7 +400,7 @@ func (p *Peer) call(dest string, body any) (any, error) {
 			if attempt >= p.cfg.RPCMaxRetries {
 				cancel()
 				if p.obs.Active() {
-					p.obs.Emit(obs.EvTimeout, "", dest, time.Since(rpcStart),
+					p.obs.EmitSpan(obs.EvTimeout, rsc.Under(), "", time.Since(rpcStart), dest,
 						fmt.Sprintf("rpc gave up after %d attempts", attempt+1))
 				}
 				return nil, fmt.Errorf("%w: %s->%s after %d attempts",
@@ -390,7 +411,7 @@ func (p *Peer) call(dest string, body any) (any, error) {
 			// execution's answer was what got lost.
 			p.stats.Inc(sim.CtrRetries)
 			if p.obs.Active() {
-				p.obs.Emit(obs.EvRetry, "", dest, 0,
+				p.obs.EmitSpan(obs.EvRetry, rsc.Under(), "", 0, dest,
 					fmt.Sprintf("rpc resend #%d", attempt+1))
 			}
 			if err := p.sys.net.Send(msg, transport.AnyPath); err != nil {
@@ -444,7 +465,7 @@ func (p *Peer) processPiggyback(from string, pig []purgeNotice) {
 			p.forceGrantReplica(r)
 		}
 		if len(n.Records) > 0 {
-			p.appendAndRedo(n.Records)
+			p.appendAndRedo(n.Records, obs.SpanContext{})
 		}
 	}
 }
@@ -498,7 +519,7 @@ func (p *Peer) noteReplicated(txid lock.TxID, owner string) {
 	set[owner] = true
 	p.mu.Unlock()
 	if _, live := p.reg.Get(txid); !live && txid.Site == p.name {
-		p.sendRelease(txid, owner)
+		p.sendRelease(txid, owner, obs.SpanContext{})
 	}
 }
 
@@ -516,8 +537,8 @@ func (p *Peer) takeReplicated(txid lock.TxID) []string {
 }
 
 // sendRelease asks owner to drop txid's locks (fire-and-forget RPC).
-func (p *Peer) sendRelease(txid lock.TxID, owner string) {
-	_, _ = p.call(owner, releaseReq{Tx: txid})
+func (p *Peer) sendRelease(txid lock.TxID, owner string, sc obs.SpanContext) {
+	_, _ = p.call(owner, sc, releaseReq{Tx: txid})
 }
 
 // markFinished tombstones a transaction at this peer's server role.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/lock"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 )
@@ -51,7 +52,7 @@ func TestCallbackRaceVetoesInFlightReply(t *testing.T) {
 	// The delayed reply now arrives, proposing slot 2 available: the veto
 	// must win (the reply predates the invalidation).
 	x := a.Begin()
-	fresh, _ := tc.srv.srvFetchPage(pageID(1))
+	fresh, _ := tc.srv.srvFetchPage(pageID(1), obs.SpanContext{})
 	x.applyPageReply(pageID(1), fresh, storage.AllAvailable(4), 7, 0)
 	if avail, _ := a.pool.Avail(pageID(1)); avail.Has(2) {
 		t.Error("vetoed slot became available from the stale reply")

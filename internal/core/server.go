@@ -14,17 +14,20 @@ import (
 
 // serveRequest dispatches one incoming request. It runs in the receiving
 // thread's goroutine and is also invoked directly (with from == p.name)
-// when a local transaction accesses data this peer owns.
-func (p *Peer) serveRequest(from string, body any) (any, error) {
+// when a local transaction accesses data this peer owns. sc is the serve
+// span for remote requests, or the client operation's span for local
+// calls; server-side work (lock waits, callback rounds, disk reads, WAL
+// forces) is traced under it.
+func (p *Peer) serveRequest(from string, sc obs.SpanContext, body any) (any, error) {
 	switch rq := body.(type) {
 	case readReq:
-		return p.srvRead(from, rq)
+		return p.srvRead(from, sc, rq)
 	case writeReq:
-		return p.srvWrite(from, rq)
+		return p.srvWrite(from, sc, rq)
 	case lockReq:
-		return p.srvLock(from, rq)
+		return p.srvLock(from, sc, rq)
 	case prepareReq:
-		return p.srvPrepare(from, rq)
+		return p.srvPrepare(sc, rq)
 	case finishReq:
 		return p.srvFinish(from, rq)
 	case releaseReq:
@@ -38,7 +41,7 @@ func (p *Peer) serveRequest(from string, body any) (any, error) {
 
 // srvRead serves a read request: deescalate foreign adaptive locks, lock
 // the item on behalf of the requesting transaction, and ship the page.
-func (p *Peer) srvRead(from string, rq readReq) (any, error) {
+func (p *Peer) srvRead(from string, sc obs.SpanContext, rq readReq) (any, error) {
 	remote := from != p.name
 	if remote {
 		p.stats.Inc(sim.CtrReadRequests)
@@ -46,10 +49,10 @@ func (p *Peer) srvRead(from string, rq readReq) (any, error) {
 	obj := rq.Obj
 	pageID := obj.PageID()
 
-	if err := p.srvDeescalate(pageID, from); err != nil {
+	if err := p.srvDeescalate(pageID, from, sc); err != nil {
 		return nil, err
 	}
-	if err := p.lockGuarded(rq.Tx, obj, lock.SH, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.lockGuarded(rq.Tx, obj, lock.SH, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return nil, err
 	}
 	if !remote {
@@ -61,14 +64,14 @@ func (p *Peer) srvRead(from string, rq readReq) (any, error) {
 		// OS: ship only the requested object. The copy table still tracks
 		// the page so callbacks reach every client caching any of its
 		// objects.
-		data, err := p.srvObjectBytes(obj)
+		data, err := p.srvObjectBytes(obj, sc)
 		if err != nil {
 			return nil, err
 		}
 		install := p.ct.addCopy(pageID, from)
 		return readResp{ObjData: data, Install: install}, nil
 	}
-	page, err := p.srvFetchPage(pageID)
+	page, err := p.srvFetchPage(pageID, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -78,14 +81,14 @@ func (p *Peer) srvRead(from string, rq readReq) (any, error) {
 	}
 	install := p.ct.addCopy(pageID, from)
 	if p.obs.Active() {
-		p.obs.Emit(obs.EvPageShip, rq.Tx.String(), pageID.String(), 0, "read ship to "+from)
+		p.obs.EmitSpan(obs.EvPageShip, sc.Under(), pageID.String(), 0, from, "read ship")
 	}
 	return readResp{Page: page, Avail: avail, Install: install}, nil
 }
 
 // srvWrite serves a write-permission request: deescalate, lock EX, run the
 // callback operation, and decide adaptivity.
-func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
+func (p *Peer) srvWrite(from string, sc obs.SpanContext, rq writeReq) (any, error) {
 	remote := from != p.name
 	if remote {
 		p.stats.Inc(sim.CtrWriteRequests)
@@ -93,14 +96,14 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 	obj := rq.Obj
 	pageID := obj.PageID()
 
-	if err := p.srvDeescalate(pageID, from); err != nil {
+	if err := p.srvDeescalate(pageID, from, sc); err != nil {
 		return nil, err
 	}
-	if err := p.lockGuarded(rq.Tx, obj, lock.EX, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+	if err := p.lockGuarded(rq.Tx, obj, lock.EX, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return nil, err
 	}
 
-	allInvalidated, err := p.runCallbackOp(rq.Tx, obj, pageID, from)
+	allInvalidated, err := p.runCallbackOp(rq.Tx, obj, pageID, from, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -116,7 +119,7 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 			p.locks.SetAdaptive(rq.Tx, pageID, true)
 			p.stats.Inc(sim.CtrAdaptiveGrants)
 			if p.obs.Active() {
-				p.obs.Emit(obs.EvEscalation, rq.Tx.String(), pageID.String(), 0, "adaptive page lock granted")
+				p.obs.EmitSpan(obs.EvEscalation, sc.Under(), pageID.String(), 0, from, "adaptive page lock granted")
 			}
 			resp.Adaptive = true
 		}
@@ -124,12 +127,12 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 
 	if remote {
 		if !rq.HavePage {
-			page, err := p.srvFetchPage(pageID)
+			page, err := p.srvFetchPage(pageID, sc)
 			if err != nil {
 				return nil, err
 			}
 			if p.obs.Active() {
-				p.obs.Emit(obs.EvPageShip, rq.Tx.String(), pageID.String(), 0, "write ship to "+from)
+				p.obs.EmitSpan(obs.EvPageShip, sc.Under(), pageID.String(), 0, from, "write ship")
 			}
 			resp.Page = page
 			if obj.Level == storage.LevelObject {
@@ -139,7 +142,7 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 			}
 			resp.Install = p.ct.addCopy(pageID, from)
 		} else if !rq.HaveObj && obj.Level == storage.LevelObject {
-			data, err := p.srvObjectBytes(obj)
+			data, err := p.srvObjectBytes(obj, sc)
 			if err != nil {
 				return nil, err
 			}
@@ -156,21 +159,21 @@ func (p *Peer) srvWrite(from string, rq writeReq) (any, error) {
 // srvLock serves an explicit hierarchical lock request for files, volumes,
 // and page IS/IX/SIX/EX modes (explicit SH page locks travel as whole-page
 // reads).
-func (p *Peer) srvLock(from string, rq lockReq) (any, error) {
-	if err := p.lockGuarded(rq.Tx, rq.Item, rq.Mode, lock.Options{Timeout: p.waitTimeout()}); err != nil {
+func (p *Peer) srvLock(from string, sc obs.SpanContext, rq lockReq) (any, error) {
+	if err := p.lockGuarded(rq.Tx, rq.Item, rq.Mode, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return nil, err
 	}
 	switch rq.Item.Level {
 	case storage.LevelFile, storage.LevelVolume:
 		if rq.Mode == lock.EX {
-			if err := p.runFileCallbackOp(rq.Tx, rq.Item, from); err != nil {
+			if err := p.runFileCallbackOp(rq.Tx, rq.Item, from, sc); err != nil {
 				return nil, err
 			}
 		}
 	case storage.LevelPage:
 		switch rq.Mode {
 		case lock.EX:
-			if _, err := p.runCallbackOp(rq.Tx, rq.Item, rq.Item, from); err != nil {
+			if _, err := p.runCallbackOp(rq.Tx, rq.Item, rq.Item, from, sc); err != nil {
 				return nil, err
 			}
 		case lock.IX, lock.SIX:
@@ -178,10 +181,10 @@ func (p *Peer) srvLock(from string, rq lockReq) (any, error) {
 			// page's dummy object so they surface and are invalidated
 			// (§4.3.2).
 			dummy := storage.ObjectItem(rq.Item.Vol, rq.Item.File, rq.Item.Page, storage.DummySlot)
-			if err := p.lockGuarded(rq.Tx, dummy, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout()}); err != nil {
+			if err := p.lockGuarded(rq.Tx, dummy, lock.EX, lock.Options{SkipAncestors: true, Timeout: p.waitTimeout(), Span: sc}); err != nil {
 				return nil, err
 			}
-			if _, err := p.runCallbackOp(rq.Tx, dummy, rq.Item, from); err != nil {
+			if _, err := p.runCallbackOp(rq.Tx, dummy, rq.Item, from, sc); err != nil {
 				return nil, err
 			}
 		}
@@ -191,11 +194,11 @@ func (p *Peer) srvLock(from string, rq lockReq) (any, error) {
 
 // srvPrepare is 2PC phase one at an owner: force the records to the log
 // and redo them into the server buffer.
-func (p *Peer) srvPrepare(from string, rq prepareReq) (any, error) {
+func (p *Peer) srvPrepare(sc obs.SpanContext, rq prepareReq) (any, error) {
 	if p.slog == nil {
 		return nil, fmt.Errorf("core: peer %s owns no volumes", p.name)
 	}
-	p.appendAndRedo(rq.Records)
+	p.appendAndRedo(rq.Records, sc)
 	return prepareResp{}, nil
 }
 
@@ -227,7 +230,7 @@ func (p *Peer) srvRelease(rq releaseReq) (any, error) {
 // clients other than requester (paper §4.1.2): the holding client reports
 // the EX object locks of its local transactions, which are replicated here
 // before the requester's operation proceeds.
-func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string) error {
+func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string, sc obs.SpanContext) error {
 	holders := p.locks.AdaptiveHolders(pageID)
 	client := ""
 	for _, t := range holders {
@@ -241,7 +244,7 @@ func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string) error {
 	}
 	p.stats.Inc(sim.CtrDeescalations)
 	if p.obs.Active() {
-		p.obs.Emit(obs.EvDeescalation, "", pageID.String(), 0, "adaptive lock torn down at "+client)
+		p.obs.EmitSpan(obs.EvDeescalation, sc.Under(), pageID.String(), 0, client, "adaptive lock torn down")
 	}
 	var (
 		body any
@@ -250,7 +253,7 @@ func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string) error {
 	if client == p.name {
 		body, err = p.clientDeescalate(p.name, deescReq{Page: pageID})
 	} else {
-		body, err = p.call(client, deescReq{Page: pageID})
+		body, err = p.call(client, sc, deescReq{Page: pageID})
 	}
 	if err != nil {
 		return err
@@ -313,8 +316,8 @@ func (p *Peer) availMaskFor(pageID, reqObj storage.ItemID, client string, numObj
 }
 
 // srvFetchPage returns a deep copy of a page from the server buffer,
-// reading it from disk on a miss.
-func (p *Peer) srvFetchPage(pageID storage.ItemID) (*storage.Page, error) {
+// reading it from disk on a miss (traced as a disk-io leaf under sc).
+func (p *Peer) srvFetchPage(pageID storage.ItemID, sc obs.SpanContext) (*storage.Page, error) {
 	if pg, _, ok := p.srvPool.ClonePage(pageID); ok {
 		return pg, nil
 	}
@@ -328,7 +331,9 @@ func (p *Peer) srvFetchPage(pageID storage.ItemID) (*storage.Page, error) {
 	}
 	pg, err := vol.ReadPage(pageID)
 	if p.obs.Active() {
-		p.obs.Observe(obs.HistDiskIO, time.Since(ioStart))
+		d := time.Since(ioStart)
+		p.obs.Observe(obs.HistDiskIO, d)
+		p.obs.EmitSpan(obs.EvDiskIO, sc.Under(), pageID.String(), d, "", "page read")
 	}
 	if err != nil {
 		return nil, err
@@ -339,12 +344,12 @@ func (p *Peer) srvFetchPage(pageID storage.ItemID) (*storage.Page, error) {
 }
 
 // srvObjectBytes returns the current bytes of an owned object.
-func (p *Peer) srvObjectBytes(obj storage.ItemID) ([]byte, error) {
+func (p *Peer) srvObjectBytes(obj storage.ItemID, sc obs.SpanContext) ([]byte, error) {
 	pageID := obj.PageID()
 	if data, ok := p.srvPool.ReadObject(pageID, obj.Slot); ok {
 		return data, nil
 	}
-	if _, err := p.srvFetchPage(pageID); err != nil {
+	if _, err := p.srvFetchPage(pageID, sc); err != nil {
 		return nil, err
 	}
 	data, ok := p.srvPool.ReadObject(pageID, obj.Slot)
@@ -384,8 +389,10 @@ func (p *Peer) writeBackEvictions(evs []buffer.Eviction) {
 }
 
 // appendAndRedo forces records to the stable log and redoes them into the
-// server buffer (redo-at-server, §3.3).
-func (p *Peer) appendAndRedo(recs []wal.Record) {
+// server buffer (redo-at-server, §3.3). The WAL force is traced as a leaf
+// under sc, falling back to the records' transaction when the caller has
+// no span (background purge-notice redo).
+func (p *Peer) appendAndRedo(recs []wal.Record, sc obs.SpanContext) {
 	if p.slog == nil || len(recs) == 0 {
 		return
 	}
@@ -397,29 +404,33 @@ func (p *Peer) appendAndRedo(recs []wal.Record) {
 	if p.obs.Active() {
 		d := time.Since(ioStart)
 		p.obs.Observe(obs.HistDiskIO, d)
-		p.obs.Emit(obs.EvWALAppend, recs[0].Tx.String(), recs[0].Object.String(), d,
+		wsc := sc.Under()
+		if wsc.Trace == "" {
+			wsc.Trace = recs[0].Tx.String()
+		}
+		p.obs.EmitSpan(obs.EvWALAppend, wsc, recs[0].Object.String(), d, "",
 			fmt.Sprintf("%d records forced", len(recs)))
 	}
 	for _, r := range recs {
-		p.installBytes(r.Object, r.After, true)
+		p.installBytes(r.Object, r.After, true, sc)
 	}
 }
 
 // undoOne applies a record's before-image during abort processing.
 func (p *Peer) undoOne(rec wal.Record) {
-	p.installBytes(rec.Object, rec.Before, false)
+	p.installBytes(rec.Object, rec.Before, false, obs.SpanContext{})
 }
 
 // installBytes writes object bytes into the server buffer, fetching the
 // page from disk if non-resident. Redo-time fetches are the extra reads
 // the paper attributes to the redo-at-server scheme.
-func (p *Peer) installBytes(obj storage.ItemID, data []byte, redo bool) {
+func (p *Peer) installBytes(obj storage.ItemID, data []byte, redo bool, sc obs.SpanContext) {
 	pageID := obj.PageID()
 	if !p.srvPool.Contains(pageID) {
 		if redo {
 			p.stats.Inc(sim.CtrRedoPageReads)
 		}
-		if _, err := p.srvFetchPage(pageID); err != nil {
+		if _, err := p.srvFetchPage(pageID, sc); err != nil {
 			return
 		}
 	}

@@ -184,6 +184,29 @@ func (fr FigureResult) Render() string {
 		}
 		b.WriteString("\n")
 	}
+	if fr.critPathed() {
+		b.WriteString("\nCommit critical path (exclusive paper-time per phase):\n")
+		for _, s := range fr.Series {
+			for i, p := range s.Points {
+				if p.CritPath == nil {
+					continue
+				}
+				fmt.Fprintf(&b, "\n%s w=%.2f\n%s", s.Protocol, fr.Figure.WriteProbs[i], p.CritPath.Table())
+			}
+		}
+	}
+	if audited, violations := fr.auditSummary(); audited {
+		fmt.Fprintf(&b, "\nInvariant audit: %d violations across the sweep\n", violations)
+		if violations > 0 {
+			for _, s := range fr.Series {
+				for i, p := range s.Points {
+					if p.AuditViolations > 0 {
+						fmt.Fprintf(&b, "\n%s w=%.2f:\n%s", s.Protocol, fr.Figure.WriteProbs[i], p.AuditReport)
+					}
+				}
+			}
+		}
+	}
 	if fr.observed() {
 		b.WriteString("\nLatency percentiles (paper ms): lock-wait p50/p99 | callback p50/p99\n")
 		fmt.Fprintf(&b, "%-12s", "write prob")
@@ -217,6 +240,33 @@ func (fr FigureResult) observed() bool {
 		}
 	}
 	return false
+}
+
+// critPathed reports whether any point carries a critical-path breakdown.
+func (fr FigureResult) critPathed() bool {
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			if p.CritPath != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// auditSummary reports whether the invariant auditor ran on any point and
+// the summed violations over the sweep.
+func (fr FigureResult) auditSummary() (bool, int64) {
+	ran, total := false, int64(0)
+	for _, s := range fr.Series {
+		for _, p := range s.Points {
+			if p.Audited {
+				ran = true
+				total += p.AuditViolations
+			}
+		}
+	}
+	return ran, total
 }
 
 // paperMS renders a duration as paper milliseconds, compactly.

@@ -12,6 +12,8 @@ import (
 
 	"adaptivecc/internal/core"
 	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/audit"
+	"adaptivecc/internal/obs/critpath"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -55,7 +57,19 @@ type Platform struct {
 	// trace rings) on every built cluster. Off by default: figure outputs
 	// stay bit-identical to the uninstrumented harness.
 	Observe bool
+	// CritPath additionally attributes each measurement window's commit
+	// latency to protocol phases (lock wait, callback, network, disk, WAL)
+	// from the causal span tree; the breakdown lands in Result.CritPath.
+	// Implies Observe.
+	CritPath bool
+	// Audit attaches the online protocol-invariant auditor to every built
+	// cluster and reports its verdict in Result.AuditViolations. Implies
+	// Observe.
+	Audit bool
 }
+
+// observing reports whether any consumer needs the event pipeline on.
+func (p Platform) observing() bool { return p.Observe || p.CritPath || p.Audit }
 
 // DefaultPlatform returns the paper's Table 1 settings. The default
 // TimeScale of 0.5 runs the model at twice paper speed.
@@ -132,6 +146,15 @@ type Result struct {
 	LockWaitP99 time.Duration
 	CallbackP50 time.Duration
 	CallbackP99 time.Duration
+	// CritPath is the commit critical-path breakdown of the measurement
+	// window (nil unless Platform.CritPath).
+	CritPath *critpath.Breakdown
+	// Audited reports whether the invariant auditor ran (Platform.Audit);
+	// AuditViolations is the violation count over this window and
+	// AuditReport its rendered verdict.
+	Audited         bool
+	AuditViolations int64
+	AuditReport     string
 }
 
 // cluster is a built system plus the application homes.
@@ -140,6 +163,7 @@ type cluster struct {
 	apps  []*core.Peer // apps[i] is where application i runs
 	plat  Platform
 	costs sim.CostTable
+	aud   *audit.Auditor // nil unless Platform.Audit
 }
 
 // buildCluster wires volumes, directory, and peers for the experiment.
@@ -157,7 +181,12 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 		FixedTimeout:    exp.FixedTimeout,
 		PropagateSHPage: exp.PropagateSHPage,
 		Faults:          exp.Faults,
-		Obs:             obs.Config{Enabled: plat.Observe},
+		Obs:             obs.Config{Enabled: plat.observing()},
+	}
+	var aud *audit.Auditor
+	if plat.Audit {
+		aud = audit.New()
+		cfg.Audit = aud
 	}
 	// A fault run needs the resilience discipline (request retry, callback
 	// timeouts, crash reclamation). The retry timeout tracks the simulation
@@ -186,7 +215,7 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 		if _, err := sys.AddPeer("srv", vol); err != nil {
 			return nil, err
 		}
-		c := &cluster{sys: sys, plat: plat, costs: costs}
+		c := &cluster{sys: sys, plat: plat, costs: costs, aud: aud}
 		for i := 0; i < plat.NumApplications; i++ {
 			p, err := sys.AddPeer(fmt.Sprintf("c%d", i+1))
 			if err != nil {
@@ -207,7 +236,7 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 			owned[e.peer] += e.count
 		}
 		sys := core.NewSystem(cfg)
-		c := &cluster{sys: sys, plat: plat, costs: costs}
+		c := &cluster{sys: sys, plat: plat, costs: costs, aud: aud}
 
 		vols := make([]*storage.Volume, n)
 		nextPage := make([]uint32, n)
@@ -326,9 +355,15 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 	time.Sleep(exp.Warmup)
 	before := stats.Snapshot()
 	var lockWaitBefore, cbBefore obs.HistSnapshot
+	var evStart time.Duration
+	var audBefore int64
 	if set := c.sys.Obs(); set != nil {
 		lockWaitBefore = set.Merged(obs.HistLockWait)
 		cbBefore = set.Merged(obs.HistCallbackRound)
+		evStart = set.Now() // paper-time start of the measurement window
+	}
+	if c.aud != nil {
+		audBefore = c.aud.Total()
 	}
 	start := time.Now()
 
@@ -394,6 +429,25 @@ func runWindow(c *cluster, exp Experiment, plat Platform) (Result, error) {
 		res.LockWaitP99 = lockWait.Quantile(0.99)
 		res.CallbackP50 = cb.Quantile(0.50)
 		res.CallbackP99 = cb.Quantile(0.99)
+		if plat.CritPath {
+			// Attribute only this window's spans: the trace ring spans the
+			// cluster's whole life, so events before the window are cut.
+			var window []obs.Event
+			for _, ev := range set.TraceEvents() {
+				if ev.At >= evStart {
+					window = append(window, ev)
+				}
+			}
+			res.CritPath = critpath.Analyze(window)
+		}
+	}
+	if c.aud != nil {
+		// An exact sweep at quiescence, then this window's violation delta
+		// (the auditor's counters are monotonic across windows).
+		c.aud.Check()
+		res.Audited = true
+		res.AuditViolations = c.aud.Total() - audBefore
+		res.AuditReport = c.aud.Report()
 	}
 	return res, nil
 }

@@ -280,3 +280,42 @@ func TestRunObjectServer(t *testing.T) {
 		t.Errorf("OS shipped %d pages", res.Counters[sim.CtrPageTransfers])
 	}
 }
+
+func TestRunWithCritPathAndAudit(t *testing.T) {
+	plat := fastPlatform()
+	plat.CritPath = true
+	plat.Audit = true
+	res, err := Run(Experiment{
+		Workload:  workload.HotCold,
+		WriteProb: 0.3,
+		Protocol:  core.PSAA,
+		Mode:      ClientServer,
+		Warmup:    200 * time.Millisecond,
+		Measure:   800 * time.Millisecond,
+	}, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Observed {
+		t.Error("CritPath/Audit must imply Observe")
+	}
+	if res.CritPath == nil {
+		t.Fatal("no critical-path breakdown")
+	}
+	if res.CritPath.Commits == 0 {
+		t.Error("breakdown attributes zero commits")
+	}
+	if res.CritPath.PhaseSum() <= 0 {
+		t.Error("breakdown attributes zero time")
+	}
+	if !strings.Contains(res.CritPath.Table(), "lock-wait") {
+		t.Errorf("breakdown table malformed:\n%s", res.CritPath.Table())
+	}
+	if !res.Audited {
+		t.Error("auditor did not run")
+	}
+	if res.AuditViolations != 0 {
+		t.Errorf("clean run reported %d violations:\n%s", res.AuditViolations, res.AuditReport)
+	}
+	t.Logf("breakdown over %d commits:\n%s", res.CritPath.Commits, res.CritPath.Table())
+}

@@ -51,6 +51,10 @@ type Options struct {
 	// NoDeadlock suppresses deadlock detection for this wait (used with
 	// timeouts only, for the ablation experiment).
 	NoDeadlock bool
+	// Span is the causal context of the operation issuing this request;
+	// blocked-wait trace events are parented under it. Zero when
+	// observability is off (or the caller has no context).
+	Span obs.SpanContext
 }
 
 // Holder describes one granted entry on an item.
@@ -214,8 +218,14 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 	}
 
 	m.stats.Inc(sim.CtrLockWaits)
+	// The wait's trace events are leaves under the caller's span; a caller
+	// without a context still gets events tied to the transaction.
+	wsc := opt.Span.Under()
+	if wsc.Trace == "" {
+		wsc.Trace = tx.String()
+	}
 	if m.obs.Active() {
-		m.obs.Emit(obs.EvLockBlock, tx.String(), item.String(), 0, mode.String())
+		m.obs.EmitSpan(obs.EvLockBlock, wsc, item.String(), 0, "", mode.String())
 	}
 	start := time.Now()
 	err := m.await(req, opt.Timeout)
@@ -229,7 +239,7 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 		if err != nil {
 			note = err.Error()
 		}
-		m.obs.Emit(obs.EvLockGrant, tx.String(), item.String(), wait, note)
+		m.obs.EmitSpan(obs.EvLockGrant, wsc, item.String(), wait, "", note)
 	}
 	return err
 }

@@ -100,6 +100,29 @@ func (m *Manager) ForEachLockWithin(item storage.ItemID, fn func(Info) bool) {
 	}
 }
 
+// ForEachLock calls fn for every granted lock in the table, shard by
+// shard. The same caveats as ForEachLockWithin apply: fn runs with a
+// shard mutex held and must not call back into the Manager; the scan is
+// a per-shard snapshot, not a global one. The invariant auditor uses it
+// to sweep whole tables.
+func (m *Manager) ForEachLock(fn func(Info) bool) {
+	for i := range m.shards {
+		s := &m.shards[i]
+		s.mu.Lock()
+		cont := true
+		for _, h := range s.items {
+			if !emitHeadLocked(h, fn) {
+				cont = false
+				break
+			}
+		}
+		s.mu.Unlock()
+		if !cont {
+			return
+		}
+	}
+}
+
 // LocksWithin lists every granted lock on item or its descendants. The
 // protocol uses it to compute unavailable-object masks before shipping a
 // page and to collect the object locks replicated during deescalation and

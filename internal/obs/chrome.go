@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"sort"
+	"strconv"
 	"time"
 )
 
@@ -19,6 +20,8 @@ type chromeEvent struct {
 	Pid  int               `json:"pid"`
 	Tid  int               `json:"tid"`
 	S    string            `json:"s,omitempty"`
+	ID   string            `json:"id,omitempty"` // flow-event binding id
+	Bp   string            `json:"bp,omitempty"` // "e": bind flow end to enclosing slice
 	Args map[string]string `json:"args,omitempty"`
 }
 
@@ -27,14 +30,51 @@ type chromeTrace struct {
 	DisplayTimeUnit string        `json:"displayTimeUnit"`
 }
 
+// sortEventsStable orders events for export: by timestamp, with a full
+// secondary key chain (site, tx, kind, span, item, note) so two events
+// sharing a timestamp — common under coarse paper-time quantization —
+// always serialize in the same order regardless of ring-merge order.
+func sortEventsStable(evs []Event) {
+	sort.SliceStable(evs, func(i, j int) bool {
+		a, b := evs[i], evs[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Site != b.Site {
+			return a.Site < b.Site
+		}
+		if a.Tx != b.Tx {
+			return a.Tx < b.Tx
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Span != b.Span {
+			return a.Span < b.Span
+		}
+		if a.Item != b.Item {
+			return a.Item < b.Item
+		}
+		return a.Note < b.Note
+	})
+}
+
 // WriteChromeTrace serializes events as Chrome trace-event JSON with one
 // process (lane) per site and one thread per transaction within a site.
 // Events with a nonzero Dur render as complete spans ("X"), the rest as
 // thread-scoped instants ("i"). Timestamps are paper-time microseconds.
+// Span-carrying events whose parent span landed on a different site get a
+// Perfetto flow event ("s" → "f") linking the two lanes, so a callback
+// fan-out or RPC reads as arrows across processes. Output order is fully
+// deterministic: equal-timestamp events are tie-broken by site, tx, kind,
+// span id, item, and note.
 func WriteChromeTrace(w io.Writer, events []Event) error {
+	evs := append([]Event(nil), events...)
+	sortEventsStable(evs)
+
 	sites := make([]string, 0, 8)
 	seen := make(map[string]bool)
-	for _, ev := range events {
+	for _, ev := range evs {
 		if !seen[ev.Site] {
 			seen[ev.Site] = true
 			sites = append(sites, ev.Site)
@@ -46,7 +86,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		pidOf[s] = i + 1
 	}
 
-	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(events)+2*len(sites))}
+	out := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: make([]chromeEvent, 0, len(evs)+2*len(sites))}
 	for _, s := range sites {
 		out.TraceEvents = append(out.TraceEvents, chromeEvent{
 			Name: "process_name", Ph: "M", Pid: pidOf[s], Tid: 0,
@@ -80,15 +120,23 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		return t
 	}
 
+	// Where each span's slice landed, for flow-event endpoints.
+	type spanLoc struct {
+		site       string
+		pid, tid   int
+		start, end float64
+	}
+	locs := make(map[uint64]spanLoc)
+
 	usec := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
-	for _, ev := range events {
+	for _, ev := range evs {
 		ce := chromeEvent{
 			Name: ev.Kind.String(),
 			Cat:  ev.Kind.Category(),
 			Pid:  pidOf[ev.Site],
 			Tid:  tidFor(ev.Site, ev.Tx),
 		}
-		args := make(map[string]string, 3)
+		args := make(map[string]string, 5)
 		if ev.Tx != "" {
 			args["tx"] = ev.Tx
 		}
@@ -97,6 +145,15 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 		}
 		if ev.Note != "" {
 			args["note"] = ev.Note
+		}
+		if ev.Peer != "" {
+			args["peer"] = ev.Peer
+		}
+		if ev.Span != 0 {
+			args["span"] = strconv.FormatUint(ev.Span, 10)
+		}
+		if ev.Parent != 0 {
+			args["parent"] = strconv.FormatUint(ev.Parent, 10)
 		}
 		if len(args) > 0 {
 			ce.Args = args
@@ -114,7 +171,40 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			ce.S = "t"
 			ce.Ts = usec(ev.At)
 		}
+		if ev.Span != 0 && ev.Dur > 0 {
+			locs[ev.Span] = spanLoc{site: ev.Site, pid: ce.Pid, tid: ce.Tid, start: ce.Ts, end: ce.Ts + ce.Dur}
+		}
 		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+
+	// Flow events: for every span whose parent span sits on another site,
+	// draw an arrow from the parent's slice to the child's. The binding ts
+	// must fall inside each slice, so the start point is the child's start
+	// clamped into the parent's extent.
+	for _, ev := range evs {
+		if ev.Span == 0 || ev.Parent == 0 || ev.Dur <= 0 {
+			continue
+		}
+		child, ok := locs[ev.Span]
+		if !ok {
+			continue
+		}
+		parent, ok := locs[ev.Parent]
+		if !ok || parent.site == child.site {
+			continue
+		}
+		ts := child.start
+		if ts < parent.start {
+			ts = parent.start
+		}
+		if ts > parent.end {
+			ts = parent.end
+		}
+		id := strconv.FormatUint(ev.Span, 10)
+		out.TraceEvents = append(out.TraceEvents,
+			chromeEvent{Name: "flow", Cat: "flow", Ph: "s", Ts: ts, Pid: parent.pid, Tid: parent.tid, ID: id},
+			chromeEvent{Name: "flow", Cat: "flow", Ph: "f", Bp: "e", Ts: child.start, Pid: child.pid, Tid: child.tid, ID: id},
+		)
 	}
 
 	enc := json.NewEncoder(w)

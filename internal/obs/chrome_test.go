@@ -1,0 +1,109 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+func decodeChrome(t *testing.T, buf *bytes.Buffer) []map[string]any {
+	t.Helper()
+	var trace struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	return trace.TraceEvents
+}
+
+// Two events sharing a timestamp must serialize in the same order no
+// matter how the per-peer rings happened to merge — the export applies a
+// full secondary sort (site, tx, kind, span, item, note).
+func TestChromeTraceDeterministicOrder(t *testing.T) {
+	at := 5 * time.Millisecond
+	evs := []Event{
+		{Kind: EvPageShip, At: at, Site: "srv", Tx: "c1:1", Item: "v1/f1/p3"},
+		{Kind: EvLockRequest, At: at, Site: "c2", Tx: "c2:1", Item: "v1/f1/p3"},
+		{Kind: EvPageShip, At: at, Site: "srv", Tx: "c1:1", Item: "v1/f1/p1"},
+		{Kind: EvCallbackAcked, At: at, Site: "srv", Tx: "c1:1", Item: "v1/f1/p1"},
+	}
+	var want bytes.Buffer
+	if err := WriteChromeTrace(&want, evs); err != nil {
+		t.Fatal(err)
+	}
+	// Every rotation of the same event set must produce identical bytes.
+	for shift := 1; shift < len(evs); shift++ {
+		rotated := append(append([]Event(nil), evs[shift:]...), evs[:shift]...)
+		var got bytes.Buffer
+		if err := WriteChromeTrace(&got, rotated); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(want.Bytes(), got.Bytes()) {
+			t.Fatalf("export differs for input rotation %d:\nwant %s\ngot  %s", shift, want.String(), got.String())
+		}
+	}
+}
+
+// A span whose parent span landed on another site gets a Perfetto flow
+// pair ("s" on the parent slice, "f" on the child); same-site nesting and
+// span-less events get none.
+func TestChromeTraceFlowEvents(t *testing.T) {
+	evs := []Event{
+		// Parent RPC span at the client, child serve span at the server.
+		{Kind: EvRPC, At: 10 * time.Millisecond, Dur: 8 * time.Millisecond, Site: "c1", Tx: "c1:1", Span: 101},
+		{Kind: EvServe, At: 9 * time.Millisecond, Dur: 5 * time.Millisecond, Site: "srv", Tx: "c1:1", Span: 102, Parent: 101},
+		// Same-site child: no flow.
+		{Kind: EvDiskIO, At: 8 * time.Millisecond, Dur: 2 * time.Millisecond, Site: "srv", Tx: "c1:1", Span: 103, Parent: 102},
+		// Span-less instant: no flow.
+		{Kind: EvPageShip, At: 9 * time.Millisecond, Site: "srv", Tx: "c1:1", Parent: 102},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	var starts, finishes []map[string]any
+	for _, ce := range decodeChrome(t, &buf) {
+		switch ce["ph"] {
+		case "s":
+			starts = append(starts, ce)
+		case "f":
+			finishes = append(finishes, ce)
+		}
+	}
+	if len(starts) != 1 || len(finishes) != 1 {
+		t.Fatalf("got %d flow starts and %d flow finishes, want 1 and 1", len(starts), len(finishes))
+	}
+	s, f := starts[0], finishes[0]
+	if s["id"] != "102" || f["id"] != "102" {
+		t.Fatalf("flow ids = %v/%v, want child span id 102", s["id"], f["id"])
+	}
+	if f["bp"] != "e" {
+		t.Fatalf("flow finish bp = %v, want e (bind to enclosing slice)", f["bp"])
+	}
+	if s["pid"] == f["pid"] {
+		t.Fatalf("flow start and finish share pid %v; want distinct site lanes", s["pid"])
+	}
+}
+
+// The flow start must bind inside the parent slice even when the child
+// started before the parent's recorded start (clock skew between sites).
+func TestChromeTraceFlowClampedIntoParent(t *testing.T) {
+	evs := []Event{
+		{Kind: EvRPC, At: 20 * time.Millisecond, Dur: 5 * time.Millisecond, Site: "c1", Tx: "c1:1", Span: 201},
+		{Kind: EvServe, At: 12 * time.Millisecond, Dur: 10 * time.Millisecond, Site: "srv", Tx: "c1:1", Span: 202, Parent: 201},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, evs); err != nil {
+		t.Fatal(err)
+	}
+	for _, ce := range decodeChrome(t, &buf) {
+		if ce["ph"] == "s" {
+			ts := ce["ts"].(float64)
+			if ts < 15000 || ts > 20000 {
+				t.Fatalf("flow start ts = %v µs, want within parent slice [15000, 20000]", ts)
+			}
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package critpath
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/obs"
+)
+
+const ms = time.Millisecond
+
+// span builds a timed event with explicit tree position.
+func span(kind obs.EventKind, tx string, id, parent uint64, dur time.Duration) obs.Event {
+	return obs.Event{Kind: kind, Tx: tx, Span: id, Parent: parent, Dur: dur, At: dur}
+}
+
+func TestAnalyzeAttributesExclusiveTime(t *testing.T) {
+	// One commit trace shaped like a real write:
+	//   commit(100ms)
+	//     ├─ rpc(80ms)
+	//     │    └─ serve(60ms)
+	//     │         ├─ lock-grant leaf(10ms)
+	//     │         ├─ callback round(30ms)
+	//     │         │    └─ handled(12ms)
+	//     │         ├─ disk leaf(5ms)
+	//     │         └─ wal leaf(8ms)
+	//     └─ (20ms exclusive client work)
+	evs := []obs.Event{
+		span(obs.EvCommit, "c1:1", 1, 0, 100*ms),
+		span(obs.EvRPC, "c1:1", 2, 1, 80*ms),
+		span(obs.EvServe, "c1:1", 3, 2, 60*ms),
+		span(obs.EvLockGrant, "c1:1", 0, 3, 10*ms), // leaf: no span id
+		span(obs.EvCallbackRound, "c1:1", 4, 3, 30*ms),
+		span(obs.EvCallbackHandled, "c1:1", 0, 4, 12*ms),
+		span(obs.EvDiskIO, "c1:1", 0, 3, 5*ms),
+		span(obs.EvWALAppend, "c1:1", 0, 3, 8*ms),
+	}
+	b := Analyze(evs)
+
+	if b.Commits != 1 || b.Traces != 1 {
+		t.Fatalf("commits=%d traces=%d, want 1/1", b.Commits, b.Traces)
+	}
+	want := map[Phase]time.Duration{
+		PhaseLockWait: 10 * ms,
+		PhaseCallback: 30 * ms, // round 30-12 exclusive + handled 12
+		PhaseNetwork:  20 * ms, // rpc 80 - serve 60
+		PhaseDisk:     5 * ms,
+		PhaseWAL:      8 * ms,
+		PhaseOther:    27 * ms, // commit 100-80 + serve 60-(10+30+5+8)
+	}
+	for p, d := range want {
+		if b.Phases[p] != d {
+			t.Errorf("phase %s = %v, want %v", p, b.Phases[p], d)
+		}
+	}
+	if b.Total != 100*ms {
+		t.Errorf("total = %v, want 100ms", b.Total)
+	}
+	if got := b.PhaseSum(); got != 100*ms {
+		t.Errorf("phase sum = %v, want 100ms", got)
+	}
+	if pct := b.Percent(PhaseCallback); pct != 30 {
+		t.Errorf("callback pct = %v, want 30", pct)
+	}
+	if d := b.PerCommit(PhaseNetwork); d != 20*ms {
+		t.Errorf("network per commit = %v, want 20ms", d)
+	}
+}
+
+func TestAnalyzeClampsParallelFanOut(t *testing.T) {
+	// Two callback-handled children run in parallel and together exceed
+	// the round: exclusive round time clamps at zero instead of negative.
+	evs := []obs.Event{
+		span(obs.EvCommit, "c1:2", 10, 0, 50*ms),
+		span(obs.EvCallbackRound, "c1:2", 11, 10, 30*ms),
+		span(obs.EvCallbackHandled, "c1:2", 0, 11, 25*ms),
+		span(obs.EvCallbackHandled, "c1:2", 0, 11, 25*ms),
+	}
+	b := Analyze(evs)
+	if b.Phases[PhaseCallback] != 50*ms { // 0 exclusive + 25 + 25
+		t.Errorf("callback = %v, want 50ms", b.Phases[PhaseCallback])
+	}
+	if b.Total != 50*ms {
+		t.Errorf("total = %v, want 50ms (commit root only)", b.Total)
+	}
+}
+
+func TestAnalyzeSkipsBackgroundAndCountsOrphans(t *testing.T) {
+	evs := []obs.Event{
+		// Background write-back: no Tx — ignored entirely.
+		span(obs.EvDiskIO, "", 0, 0, 500*ms),
+		// Non-commit trace: counted as a trace, not a commit.
+		span(obs.EvClientOp, "c2:1", 20, 0, 5*ms),
+		// Orphan whose parent was dropped from the ring: treated as root.
+		span(obs.EvRPC, "c2:1", 21, 999, 3*ms),
+	}
+	b := Analyze(evs)
+	if b.Commits != 0 || b.Traces != 1 {
+		t.Fatalf("commits=%d traces=%d, want 0/1", b.Commits, b.Traces)
+	}
+	if b.Total != 8*ms {
+		t.Errorf("total = %v, want 8ms (root + orphan)", b.Total)
+	}
+	if b.Phases[PhaseNetwork] != 3*ms || b.Phases[PhaseOther] != 5*ms {
+		t.Errorf("phases = %v", b.Phases)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	b := Analyze([]obs.Event{
+		span(obs.EvCommit, "c1:1", 1, 0, 10*ms),
+		span(obs.EvLockGrant, "c1:1", 0, 1, 4*ms),
+	})
+	tbl := b.Table()
+	for _, want := range []string{"lock-wait", "callback", "network", "disk", "wal", "other", "wall", "1 commits"} {
+		if !strings.Contains(tbl, want) {
+			t.Errorf("table missing %q:\n%s", want, tbl)
+		}
+	}
+	if !strings.Contains(tbl, "40.0%") {
+		t.Errorf("table missing lock-wait 40%%:\n%s", tbl)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	b := Analyze(nil)
+	if b.Commits != 0 || b.Total != 0 || b.PhaseSum() != 0 {
+		t.Fatalf("nonzero breakdown from empty input: %+v", b)
+	}
+	if b.Percent(PhaseDisk) != 0 || b.PerCommit(PhaseWAL) != 0 {
+		t.Fatal("divide-by-zero guards failed")
+	}
+}

@@ -24,6 +24,11 @@ type Config struct {
 	// positive, wall-clock durations are divided by it so histograms and
 	// trace timestamps are in paper time. Zero keeps wall time.
 	TimeScale float64
+	// Sink, when non-nil, receives every emitted event in addition to the
+	// per-peer trace rings. It is invoked synchronously on the emitting
+	// goroutine (possibly from several goroutines at once), so it must be
+	// cheap and thread-safe. The online invariant auditor subscribes here.
+	Sink func(Event)
 }
 
 // HistID names one of the tracked latency histograms.
@@ -71,6 +76,7 @@ type Registry struct {
 	enabled atomic.Bool
 	hists   [NumHists]Histogram
 	ring    *TraceRing
+	sink    func(Event) // optional live subscriber (Config.Sink)
 }
 
 // NewRegistry returns a standalone enabled registry (tests and
@@ -114,22 +120,48 @@ func (r *Registry) Observe(id HistID, wall time.Duration) {
 	r.hists[id].Observe(r.simDur(wall))
 }
 
+// StartSpan allocates a child span of parent for work about to happen at
+// this site, inheriting the parent's trace identity unless trace is set.
+// When the registry is inactive it returns the zero context, which every
+// downstream consumer treats as "no span" — the disabled path allocates
+// nothing.
+func (r *Registry) StartSpan(trace string, parent SpanContext) SpanContext {
+	if !r.Active() {
+		return SpanContext{}
+	}
+	return NewSpan(trace, parent)
+}
+
 // Emit records a trace event stamped with the current paper time. dur is
 // the wall-clock duration of the spanned work (zero for instants). No-op
 // when inactive.
 func (r *Registry) Emit(kind EventKind, tx, item string, dur time.Duration, note string) {
+	r.EmitSpan(kind, SpanContext{Trace: tx}, item, dur, "", note)
+}
+
+// EmitSpan records a trace event carrying a span context: sc.Trace becomes
+// the event's Tx, sc.Span/sc.Parent its position in the causal tree. peer
+// names the remote site involved (empty when none). No-op when inactive.
+func (r *Registry) EmitSpan(kind EventKind, sc SpanContext, item string, dur time.Duration, peer, note string) {
 	if !r.Active() {
 		return
 	}
-	r.ring.Add(Event{
-		Kind: kind,
-		At:   r.Now(),
-		Dur:  r.simDur(dur),
-		Site: r.site,
-		Tx:   tx,
-		Item: item,
-		Note: note,
-	})
+	ev := Event{
+		Kind:   kind,
+		At:     r.Now(),
+		Dur:    r.simDur(dur),
+		Site:   r.site,
+		Tx:     sc.Trace,
+		Item:   item,
+		Note:   note,
+		Peer:   peer,
+		Span:   sc.Span,
+		Parent: sc.Parent,
+	}
+	r.ring.Add(ev)
+	if r.sink != nil {
+		r.sink(ev)
+	}
 }
 
 // Hist snapshots one histogram of this registry.
@@ -182,10 +214,21 @@ func NewSet(cfg Config, stats *sim.Stats) *Set {
 // Stats exposes the counter set this Set reports alongside its histograms.
 func (s *Set) Stats() *sim.Stats { return s.stats }
 
+// Now reports the current paper time since the Set's epoch — the same
+// clock its registries stamp events with. The harness uses it to window
+// trace events to one measurement interval.
+func (s *Set) Now() time.Duration {
+	wall := time.Since(s.start)
+	if s.cfg.TimeScale > 0 {
+		return time.Duration(float64(wall) / s.cfg.TimeScale)
+	}
+	return wall
+}
+
 // NewRegistry creates (and retains) the registry for one peer. All of a
 // Set's registries share its epoch, so their trace timestamps align.
 func (s *Set) NewRegistry(site string) *Registry {
-	r := &Registry{site: site, scale: s.cfg.TimeScale, start: s.start, ring: newTraceRing(s.cfg.TraceCap)}
+	r := &Registry{site: site, scale: s.cfg.TimeScale, start: s.start, ring: newTraceRing(s.cfg.TraceCap), sink: s.cfg.Sink}
 	r.enabled.Store(true)
 	s.mu.Lock()
 	s.regs = append(s.regs, r)

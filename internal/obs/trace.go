@@ -2,6 +2,7 @@ package obs
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -23,6 +24,13 @@ const (
 	EvRetry                            // an RPC attempt was resent
 	EvTimeout                          // an RPC or callback round timed out
 	EvCrashReclaim                     // state of a crashed peer was reclaimed
+	EvClientOp                         // one client operation: Read/Write/LockItem (span)
+	EvRPC                              // one request/reply round trip (span)
+	EvServe                            // server-side execution of one request (span)
+	EvCallbackRound                    // one server-side callback round (span)
+	EvCallbackHandled                  // client-side handling of one callback (span)
+	EvCommit                           // Tx.Commit (span)
+	EvDiskIO                           // one page read from a volume (span)
 )
 
 // String names the kind as it appears in trace exports.
@@ -54,6 +62,20 @@ func (k EventKind) String() string {
 		return "rpc.timeout"
 	case EvCrashReclaim:
 		return "crash.reclaim"
+	case EvClientOp:
+		return "client.op"
+	case EvRPC:
+		return "rpc.call"
+	case EvServe:
+		return "rpc.serve"
+	case EvCallbackRound:
+		return "callback.round"
+	case EvCallbackHandled:
+		return "callback.handled"
+	case EvCommit:
+		return "tx.commit"
+	case EvDiskIO:
+		return "disk.io"
 	default:
 		return "unknown"
 	}
@@ -64,7 +86,7 @@ func (k EventKind) Category() string {
 	switch k {
 	case EvLockRequest, EvLockBlock, EvLockGrant:
 		return "lock"
-	case EvCallbackSent, EvCallbackBlocked, EvCallbackAcked:
+	case EvCallbackSent, EvCallbackBlocked, EvCallbackAcked, EvCallbackRound, EvCallbackHandled:
 		return "callback"
 	case EvEscalation, EvDeescalation:
 		return "adaptive"
@@ -76,23 +98,69 @@ func (k EventKind) Category() string {
 		return "resilience"
 	case EvCrashReclaim:
 		return "recovery"
+	case EvClientOp, EvCommit:
+		return "tx"
+	case EvRPC, EvServe:
+		return "rpc"
+	case EvDiskIO:
+		return "io"
 	default:
 		return "misc"
 	}
 }
 
+// SpanContext is the causal identity carried by every protocol message:
+// the trace (the driving transaction's "site:seq" identity), this span's
+// id, and the parent span's id. Span ids are allocated from one
+// process-wide counter, so they are unique across every site of every
+// in-process system and a child can always be joined to its parent no
+// matter which peer emitted it. The zero value means "no span": it
+// propagates freely through the message fabric when observability is off
+// and every consumer treats it as absent.
+type SpanContext struct {
+	Trace  string // transaction identity ("site:seq"); empty = no trace
+	Span   uint64 // this span's id; 0 = not a span of its own
+	Parent uint64 // parent span id; 0 = root
+}
+
+// spanIDs is the process-wide span id allocator.
+var spanIDs atomic.Uint64
+
+// NewSpan allocates a child span of parent. trace overrides the trace
+// identity; when empty the parent's is inherited. Unlike
+// Registry.StartSpan this is unconditional — tests and analyzers use it.
+func NewSpan(trace string, parent SpanContext) SpanContext {
+	if trace == "" {
+		trace = parent.Trace
+	}
+	return SpanContext{Trace: trace, Span: spanIDs.Add(1), Parent: parent.Span}
+}
+
+// Under derives the context for an instant (or leaf span) nested under sc:
+// same trace, parented to sc's span, with no span id of its own. The zero
+// context stays zero.
+func (sc SpanContext) Under() SpanContext {
+	return SpanContext{Trace: sc.Trace, Parent: sc.Span}
+}
+
 // Event is one structured trace record. At is the completion time of the
 // event in simulated (paper) time since the Set's start; Dur, when nonzero,
 // makes the event a span ending at At. Tx is the transaction's "site:seq"
-// identity and Item the lock-hierarchy path of the item involved.
+// identity and Item the lock-hierarchy path of the item involved. Span and
+// Parent place the event in the causal tree of its trace (0 = none); Peer
+// names the remote site involved, when there is one (the callback target,
+// the RPC destination, the requesting client).
 type Event struct {
-	Kind EventKind
-	At   time.Duration
-	Dur  time.Duration
-	Site string
-	Tx   string
-	Item string
-	Note string
+	Kind   EventKind
+	At     time.Duration
+	Dur    time.Duration
+	Site   string
+	Tx     string
+	Item   string
+	Note   string
+	Peer   string
+	Span   uint64
+	Parent uint64
 }
 
 // TraceRing is a bounded ring buffer of events; when full, the oldest
