@@ -14,6 +14,10 @@
 //	PSOO  — object-grain locking, pure object callbacks
 //	PSOA  — object-grain locking, adaptive callbacks
 //	PSAA  — adaptive locking and adaptive callbacks (the paper's best)
+//	PSAH  — PSAA plus a per-page conflict-history advisor that steers
+//	        grain choices (suppresses futile escalation, demotes hot
+//	        callbacks to object grain, widens quiet private writes)
+//	OS    — the object-server baseline: objects, not pages, on the wire
 //
 // The quickstart:
 //
@@ -45,6 +49,7 @@ const (
 	PSOO = core.PSOO
 	PSOA = core.PSOA
 	PSAA = core.PSAA
+	PSAH = core.PSAH
 	OS   = core.OS
 )
 

@@ -164,13 +164,14 @@ func run(args []string, out *os.File) error {
 
 	pRegressions := printPercentiles(out, names, oldBy, newBy, *pgate)
 
+	span := commitSpan(oldRep.Commit, newRep.Commit)
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%:\n  %s",
-			len(regressions), *threshold*100, joinLines(regressions))
+		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%%s:\n  %s",
+			len(regressions), *threshold*100, span, joinLines(regressions))
 	}
 	if len(pRegressions) > 0 {
-		return fmt.Errorf("%d p99 percentile(s) regressed more than %.0f%%:\n  %s",
-			len(pRegressions), *pgate, joinLines(pRegressions))
+		return fmt.Errorf("%d p99 percentile(s) regressed more than %.0f%%%s:\n  %s",
+			len(pRegressions), *pgate, span, joinLines(pRegressions))
 	}
 	fmt.Fprintf(out, "\nno regression beyond %.0f%%\n", *threshold*100)
 	return nil
@@ -238,6 +239,27 @@ func isPercentileMetric(k string) bool {
 		i++
 	}
 	return i > 1 && i < len(k) && k[i] == '-'
+}
+
+// commitSpan renders the commit range a regression must lie in, so the
+// gate's failure message points straight at the suspect commits
+// (bench.sh stamps each report with `git rev-parse --short HEAD`, or
+// "unknown" outside a checkout).
+func commitSpan(oldCommit, newCommit string) string {
+	if oldCommit == "" {
+		oldCommit = "unknown"
+	}
+	if newCommit == "" {
+		newCommit = "unknown"
+	}
+	if oldCommit == "unknown" && newCommit == "unknown" {
+		return ""
+	}
+	if oldCommit == newCommit {
+		return fmt.Sprintf(" at commit %s", newCommit)
+	}
+	return fmt.Sprintf(" between commits %s..%s (inclusive of %s)",
+		oldCommit, newCommit, newCommit)
 }
 
 func joinLines(lines []string) string {

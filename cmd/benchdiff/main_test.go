@@ -56,6 +56,26 @@ func TestRegressionFails(t *testing.T) {
 	if !strings.Contains(err.Error(), "BenchmarkA") {
 		t.Errorf("error does not name the regressed benchmark: %v", err)
 	}
+	if !strings.Contains(err.Error(), "aaaa111..cccc333") {
+		t.Errorf("error does not name the commit span the regression lies in: %v", err)
+	}
+}
+
+func TestCommitSpan(t *testing.T) {
+	cases := []struct {
+		old, new, want string
+	}{
+		{"aaaa111", "cccc333", " between commits aaaa111..cccc333 (inclusive of cccc333)"},
+		{"aaaa111", "aaaa111", " at commit aaaa111"},
+		{"unknown", "unknown", ""},
+		{"", "", ""},
+		{"unknown", "cccc333", " between commits unknown..cccc333 (inclusive of cccc333)"},
+	}
+	for _, c := range cases {
+		if got := commitSpan(c.old, c.new); got != c.want {
+			t.Errorf("commitSpan(%q, %q) = %q, want %q", c.old, c.new, got, c.want)
+		}
+	}
 }
 
 func TestThresholdFlag(t *testing.T) {

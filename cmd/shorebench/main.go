@@ -1,14 +1,15 @@
-// Command shorebench regenerates the paper's evaluation figures (6–15):
-// for each figure it sweeps the write probability for every protocol the
-// paper plots and prints the throughput series, plus the configuration
-// tables (Table 1 and Table 2).
+// Command shorebench regenerates the paper's evaluation figures (6–15,
+// plus the post-paper figure 16): for each figure it sweeps the write
+// probability for every protocol the paper plots and prints the
+// throughput series, plus the configuration tables (Table 1 and Table 2).
 //
 // Usage:
 //
 //	shorebench -list-config              # print Tables 1 and 2
 //	shorebench -fig 6                    # reproduce one figure
-//	shorebench -all                      # reproduce all ten figures
+//	shorebench -all                      # reproduce all figures
 //	shorebench -fig 6 -scale 0.25 -measure 20s -small
+//	shorebench -fig 6 -protocol psah     # restrict the sweep to one protocol
 //	shorebench -fig 6 -obs               # add latency percentile tables
 //	shorebench -fig 6 -critpath          # commit critical-path breakdown
 //	shorebench -fig 6 -audit             # online protocol-invariant auditor
@@ -24,12 +25,35 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"adaptivecc/internal/consistency"
+	"adaptivecc/internal/core"
 	"adaptivecc/internal/harness"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/transport"
 )
+
+// parseProtocols parses a comma-separated protocol list ("psah,ps-aa").
+func parseProtocols(s string) ([]core.Protocol, error) {
+	var out []core.Protocol
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		p, ok := consistency.Parse(part)
+		if !ok {
+			return nil, fmt.Errorf("unknown protocol %q (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)", part)
+		}
+		out = append(out, p)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty -protocol list")
+	}
+	return out, nil
+}
 
 func main() {
 	if err := run(os.Args[1:]); err != nil {
@@ -42,7 +66,8 @@ func run(args []string) error {
 	fs := flag.NewFlagSet("shorebench", flag.ContinueOnError)
 	var (
 		listConfig = fs.Bool("list-config", false, "print Table 1 and Table 2 and exit")
-		figNum     = fs.Int("fig", 0, "figure number to reproduce (6-15)")
+		figNum     = fs.Int("fig", 0, "figure number to reproduce (6-16)")
+		protoStr   = fs.String("protocol", "", "restrict figures to these protocols (comma-separated, e.g. psah,ps-aa)")
 		all        = fs.Bool("all", false, "reproduce all figures")
 		small      = fs.Bool("small", false, "use the scaled-down platform (faster, 1200 pages, 4 apps)")
 		scale      = fs.Float64("scale", 0, "time scale override (1.0 = paper milliseconds)")
@@ -129,12 +154,38 @@ func run(args []string) error {
 	case *figNum != 0:
 		f, ok := harness.FigureByNumber(*figNum)
 		if !ok {
-			return fmt.Errorf("no figure %d (valid: 6-15)", *figNum)
+			return fmt.Errorf("no figure %d (valid: 6-16)", *figNum)
 		}
 		figs = []harness.Figure{f}
 	default:
 		fs.Usage()
 		return fmt.Errorf("one of -list-config, -fig, or -all is required")
+	}
+
+	if *protoStr != "" {
+		want, err := parseProtocols(*protoStr)
+		if err != nil {
+			return err
+		}
+		for i := range figs {
+			var kept []core.Protocol
+			for _, p := range figs[i].Protocols {
+				for _, w := range want {
+					if p == w {
+						kept = append(kept, p)
+						break
+					}
+				}
+			}
+			if len(kept) == 0 {
+				// The figure does not normally plot the requested protocols;
+				// run them anyway so any figure can be probed under any
+				// protocol (e.g. -fig 6 -protocol psah before PS-AH was
+				// added to the figure's default set).
+				kept = want
+			}
+			figs[i].Protocols = kept
+		}
 	}
 
 	progress := func(line string) { fmt.Println("  " + line) }

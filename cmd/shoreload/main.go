@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/core"
 	"adaptivecc/internal/harness"
 	"adaptivecc/internal/workload"
@@ -29,20 +30,11 @@ func main() {
 }
 
 func parseProtocol(s string) (core.Protocol, error) {
-	switch strings.ToUpper(strings.ReplaceAll(s, "_", "-")) {
-	case "PS":
-		return core.PS, nil
-	case "PS-OO", "PSOO":
-		return core.PSOO, nil
-	case "PS-OA", "PSOA":
-		return core.PSOA, nil
-	case "PS-AA", "PSAA":
-		return core.PSAA, nil
-	case "OS":
-		return core.OS, nil
-	default:
-		return 0, fmt.Errorf("unknown protocol %q (PS, PS-OO, PS-OA, PS-AA, OS)", s)
+	p, ok := consistency.Parse(s)
+	if !ok {
+		return 0, fmt.Errorf("unknown protocol %q (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)", s)
 	}
+	return p, nil
 }
 
 func parseWorkload(s string) (workload.Kind, error) {
@@ -55,16 +47,18 @@ func parseWorkload(s string) (workload.Kind, error) {
 		return workload.HiCon, nil
 	case "PRIVATE":
 		return workload.Private, nil
+	case "HOTSPOT":
+		return workload.HotSpot, nil
 	default:
-		return 0, fmt.Errorf("unknown workload %q (HOTCOLD, UNIFORM, HICON, PRIVATE)", s)
+		return 0, fmt.Errorf("unknown workload %q (HOTCOLD, UNIFORM, HICON, PRIVATE, HOTSPOT)", s)
 	}
 }
 
 func run(args []string) error {
 	fs := flag.NewFlagSet("shoreload", flag.ContinueOnError)
 	var (
-		protoStr = fs.String("proto", "PS-AA", "protocol: PS, PS-OO, PS-OA, PS-AA, OS")
-		wkStr    = fs.String("workload", "HOTCOLD", "workload: HOTCOLD, UNIFORM, HICON, PRIVATE")
+		protoStr = fs.String("proto", "PS-AA", "protocol: PS, PS-OO, PS-OA, PS-AA, PS-AH, OS")
+		wkStr    = fs.String("workload", "HOTCOLD", "workload: HOTCOLD, UNIFORM, HICON, PRIVATE, HOTSPOT")
 		modeStr  = fs.String("mode", "cs", "configuration: cs (client-server) or peers")
 		write    = fs.Float64("write", 0.2, "per-object write probability")
 		high     = fs.Bool("high", false, "high page locality (transSize 30, 8-16 objects/page)")

@@ -1,0 +1,197 @@
+package consistency
+
+import (
+	"sync"
+
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+)
+
+// PS-AH: the per-page history ring and its decision rules.
+//
+// The advisor keeps a small direct-mapped table of per-page event counts —
+// remote callbacks received, blocked callback replies, deescalations, and
+// local write streaks — fed by Policy.Note from the mechanism's existing
+// event sites. Three decisions read it:
+//
+//   - EscalateOnWrite: false once a page has been deescalated
+//     escSuppressAfter times, so a page under write-write false sharing
+//     stops thrashing through the grant/deescalate cycle PSAA suffers.
+//   - CallbackObjectGrain: true once a page has accumulated
+//     objectGrainAfter conflict events, so callbacks stop purging whole
+//     pages that other clients keep re-fetching.
+//   - WantsPageGrain: true for a page with a pure local-write streak and
+//     no remote history, claiming the §7 per-hot-spot page grain up front.
+//
+// Counts age out: when a touched entry is older than decayAge ticks its
+// counts halve (and reset entirely past resetAge), so a page that goes
+// quiet returns to cold (= PSAA) behavior. Cold pages and table misses
+// always answer exactly like PSAA.
+const (
+	advisorSlots = 256 // direct-mapped entries; collisions evict
+
+	escSuppressAfter = 2 // deescalations before escalation is suppressed
+	objectGrainAfter = 2 // conflicts before callbacks go object-grain
+	pageGrainStreak  = 4 // conflict-free local writes before page grain
+
+	decayAge = 128 // ticks of silence before an entry's counts halve
+	resetAge = 512 // ticks of silence before an entry is dropped
+)
+
+type pageHistory struct {
+	key         storage.ItemID
+	used        bool
+	lastTick    uint64
+	conflicts   uint8 // blocked callback replies against the page
+	deesc       uint8 // adaptive locks torn down on the page
+	remoteCB    uint8 // callbacks received for the page
+	localWrites uint8 // local writes since the last remote event
+}
+
+// advisor implements the PS-AH Policy. It shares PSAA's static answers
+// for everything its history does not override.
+type advisor struct {
+	base Policy // PSAA's truth table
+	st   *sim.Stats
+
+	mu    sync.Mutex
+	tick  uint64
+	slots [advisorSlots]pageHistory
+}
+
+func newAdvisorPolicy(st *sim.Stats) Policy {
+	return &advisor{base: staticPolicyFor(PSAA), st: st}
+}
+
+func (a *advisor) Protocol() Protocol { return PSAH }
+
+func (a *advisor) LockTarget(obj storage.ItemID) storage.ItemID { return a.base.LockTarget(obj) }
+
+func (a *advisor) TransferUnit() Unit { return a.base.TransferUnit() }
+
+// PageFirstCallbacks is unconditionally true on the client side: when the
+// advisor wants object grain the server says so in the callback request
+// itself, so both sides of the wire agree without a second history lookup.
+func (a *advisor) PageFirstCallbacks(page storage.ItemID) bool { return true }
+
+func (a *advisor) ObjectFallback() bool { return true }
+
+func slotFor(page storage.ItemID) int {
+	h := uint32(page.Vol)*2654435761 ^ page.File*40503 ^ page.Page*2246822519
+	return int(h % advisorSlots)
+}
+
+// entry returns the history for a page, or nil when the page is cold
+// (no entry, or its slot was taken over by another page). Caller holds mu.
+func (a *advisor) entry(page storage.ItemID) *pageHistory {
+	e := &a.slots[slotFor(page)]
+	if !e.used || e.key != page {
+		return nil
+	}
+	a.decay(e)
+	return e
+}
+
+// touch returns the history for a page, creating it (or evicting a
+// collision victim) if needed. Caller holds mu.
+func (a *advisor) touch(page storage.ItemID) *pageHistory {
+	e := &a.slots[slotFor(page)]
+	if !e.used || e.key != page {
+		*e = pageHistory{key: page, used: true, lastTick: a.tick}
+		return e
+	}
+	a.decay(e)
+	return e
+}
+
+// decay ages an entry's counts by the time since it was last touched.
+// Caller holds mu.
+func (a *advisor) decay(e *pageHistory) {
+	age := a.tick - e.lastTick
+	switch {
+	case age >= resetAge:
+		*e = pageHistory{key: e.key, used: true, lastTick: a.tick}
+	case age >= decayAge:
+		e.conflicts /= 2
+		e.deesc /= 2
+		e.remoteCB /= 2
+		e.localWrites /= 2
+		e.lastTick = a.tick
+	}
+}
+
+func sat(c *uint8) {
+	if *c < 255 {
+		*c++
+	}
+}
+
+func (a *advisor) inc(name string) {
+	if a.st != nil {
+		a.st.Inc(name)
+	}
+}
+
+func (a *advisor) Note(ev Event, page storage.ItemID) {
+	if page.Level != storage.LevelPage {
+		page = page.PageID()
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.tick++
+	e := a.touch(page)
+	e.lastTick = a.tick
+	switch ev {
+	case EvLocalWrite:
+		sat(&e.localWrites)
+	case EvCallbackReceived:
+		sat(&e.remoteCB)
+		e.localWrites = 0
+	case EvCallbackBlocked, EvExtraRound:
+		sat(&e.conflicts)
+		e.localWrites = 0
+	case EvDeescalated:
+		sat(&e.deesc)
+		e.localWrites = 0
+	}
+}
+
+// EscalateOnWrite answers like PSAA until the page's history shows the
+// grant being repeatedly torn down; then it suppresses escalation.
+func (a *advisor) EscalateOnWrite(page storage.ItemID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entry(page)
+	if e == nil || e.deesc < escSuppressAfter {
+		return true
+	}
+	a.inc(sim.CtrAdvisorEscSuppressed)
+	return false
+}
+
+// CallbackObjectGrain sends callbacks at object grain on pages with a
+// conflict history, keeping the rest of the page cached at the readers.
+func (a *advisor) CallbackObjectGrain(page storage.ItemID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entry(page)
+	if e == nil || uint16(e.conflicts)+uint16(e.deesc) < objectGrainAfter {
+		return false
+	}
+	a.inc(sim.CtrAdvisorObjectGrainCB)
+	return true
+}
+
+// WantsPageGrain claims page grain up front for pages this client has been
+// writing without any remote interference.
+func (a *advisor) WantsPageGrain(page storage.ItemID) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	e := a.entry(page)
+	if e == nil || e.localWrites < pageGrainStreak ||
+		e.conflicts > 0 || e.deesc > 0 || e.remoteCB > 0 {
+		return false
+	}
+	a.inc(sim.CtrAdvisorPageGrainWrites)
+	return true
+}

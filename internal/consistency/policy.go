@@ -1,0 +1,114 @@
+package consistency
+
+import (
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+)
+
+// Unit is the granule a protocol ships between client and server.
+type Unit int
+
+const (
+	// UnitPage ships whole pages (with per-object availability masks).
+	UnitPage Unit = iota
+	// UnitObject ships single objects, as in the object server baseline.
+	UnitObject
+)
+
+// Event is a protocol occurrence a Policy may learn from. The mechanism
+// reports events through Policy.Note at the site where they happen; static
+// policies ignore them, the PS-AH advisor folds them into its per-page
+// history ring.
+type Event int
+
+const (
+	// EvLocalWrite: the local client wrote an object of the page.
+	EvLocalWrite Event = iota
+	// EvCallbackReceived: this client's cached copy of the page was called
+	// back by a remote writer.
+	EvCallbackReceived
+	// EvCallbackBlocked: a callback round against the page saw a blocked
+	// reply (a remote reader held the object the writer wants).
+	EvCallbackBlocked
+	// EvDeescalated: an adaptive page lock on the page was torn down
+	// because of a remote conflict.
+	EvDeescalated
+	// EvExtraRound: a callback operation on the page needed more than one
+	// round to converge.
+	EvExtraRound
+)
+
+// Policy makes every per-access protocol decision for one peer. The
+// mechanism in internal/core calls through this interface instead of
+// branching on the protocol value.
+//
+// Contract:
+//
+//   - All methods must be safe for concurrent use: they are called from
+//     application goroutines, the server's request handlers, and callback
+//     threads at once.
+//   - All methods must be non-blocking and must not call back into the
+//     peer: they are consulted while lock-manager and peer mutexes are
+//     held, and a policy that recursed into the mechanism (taking locks,
+//     sending messages) would deadlock. Decisions that need protocol
+//     traffic belong in the mechanism; the policy only picks among them.
+//   - Methods taking a page accept the page's ItemID (Level==LevelPage).
+//     The policy must not retain the ID beyond the call.
+//   - The policy is advisory for grain choices: the mechanism is free to
+//     ignore WantsPageGrain when honoring it would be unsafe (for example
+//     a partially cached page), and must remain correct for any answer.
+type Policy interface {
+	// Protocol reports which protocol this policy implements.
+	Protocol() Protocol
+
+	// LockTarget maps an object access to the item actually locked: the
+	// object itself under object granularity, its page under PS.
+	LockTarget(obj storage.ItemID) storage.ItemID
+
+	// TransferUnit reports what the protocol ships on a cache miss.
+	TransferUnit() Unit
+
+	// PageFirstCallbacks reports whether a callback against the page
+	// should first try to invalidate the whole cached copy (the adaptive
+	// callback of §4.2) before touching single objects. For PS this is
+	// trivially true — the page is the only grain there is.
+	PageFirstCallbacks(page storage.ItemID) bool
+
+	// ObjectFallback reports whether a blocked page-grain callback can
+	// fall back to invalidating single objects. PS has no object grain to
+	// fall back to: its callbacks block until the whole page is released.
+	// (This pair replaces the old adaptiveCallbacks() predicate, which
+	// conflated the two questions and was misleadingly true for PS.)
+	ObjectFallback() bool
+
+	// EscalateOnWrite reports whether an object write on the page may be
+	// answered with an adaptive page lock when the server finds no other
+	// copies (§4.1). The advisor suppresses this on pages whose history
+	// shows escalation repeatedly torn down by deescalation.
+	EscalateOnWrite(page storage.ItemID) bool
+
+	// CallbackObjectGrain reports whether a callback operation against the
+	// page should invalidate at object grain even where a page-first
+	// attempt would succeed, keeping the rest of the page cached at the
+	// readers. Only the advisor ever answers true; the answer travels to
+	// the clients in the callback request so both sides agree.
+	CallbackObjectGrain(page storage.ItemID) bool
+
+	// WantsPageGrain reports whether a write to the page should lock the
+	// whole page up front instead of the object (the per-hot-spot grain
+	// choice of §7). Advisory: see the interface contract.
+	WantsPageGrain(page storage.ItemID) bool
+
+	// Note reports a protocol event on a page. Must be cheap: it is called
+	// on hot paths.
+	Note(ev Event, page storage.ItemID)
+}
+
+// PolicyFor builds the Policy for a protocol. The stats sink receives the
+// advisor's decision counters and may be nil for the static protocols.
+func PolicyFor(p Protocol, st *sim.Stats) Policy {
+	if p == PSAH {
+		return newAdvisorPolicy(st)
+	}
+	return staticPolicyFor(p)
+}

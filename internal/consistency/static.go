@@ -1,0 +1,53 @@
+package consistency
+
+import "adaptivecc/internal/storage"
+
+// static is a Policy whose answers are fixed per protocol — the paper's
+// five algorithms differ only in this truth table.
+type static struct {
+	proto       Protocol
+	objectGrain bool // lock objects, not pages
+	unit        Unit
+	pageFirst   bool // callbacks try the whole page first
+	objFallback bool // blocked page callbacks retry at object grain
+	escalate    bool // object writes may take adaptive page locks
+}
+
+var staticTable = map[Protocol]*static{
+	PS:   {proto: PS, objectGrain: false, unit: UnitPage, pageFirst: true, objFallback: false, escalate: false},
+	PSOO: {proto: PSOO, objectGrain: true, unit: UnitPage, pageFirst: false, objFallback: true, escalate: false},
+	PSOA: {proto: PSOA, objectGrain: true, unit: UnitPage, pageFirst: true, objFallback: true, escalate: false},
+	PSAA: {proto: PSAA, objectGrain: true, unit: UnitPage, pageFirst: true, objFallback: true, escalate: true},
+	OS:   {proto: OS, objectGrain: true, unit: UnitObject, pageFirst: false, objFallback: true, escalate: false},
+}
+
+func staticPolicyFor(p Protocol) Policy {
+	s, ok := staticTable[p]
+	if !ok {
+		panic("consistency: no policy for " + p.String())
+	}
+	return s
+}
+
+func (s *static) Protocol() Protocol { return s.proto }
+
+func (s *static) LockTarget(obj storage.ItemID) storage.ItemID {
+	if s.objectGrain {
+		return obj
+	}
+	return obj.PageID()
+}
+
+func (s *static) TransferUnit() Unit { return s.unit }
+
+func (s *static) PageFirstCallbacks(storage.ItemID) bool { return s.pageFirst }
+
+func (s *static) ObjectFallback() bool { return s.objFallback }
+
+func (s *static) EscalateOnWrite(storage.ItemID) bool { return s.escalate }
+
+func (s *static) CallbackObjectGrain(storage.ItemID) bool { return false }
+
+func (s *static) WantsPageGrain(storage.ItemID) bool { return false }
+
+func (s *static) Note(Event, storage.ItemID) {}

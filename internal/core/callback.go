@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
@@ -118,6 +119,7 @@ func (p *Peer) runCallbackOp(txid lock.TxID, item, pageID storage.ItemID, reques
 		}
 		if round > 0 {
 			p.stats.Inc(sim.CtrCallbackRounds)
+			p.policy.Note(consistency.EvExtraRound, pageID)
 		}
 		shipsBefore := p.ct.shipCount(pageID)
 		downgraded, err := p.callbackRound(txid, item, pageID, pageID, clients, sc)
@@ -185,6 +187,10 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 			p.obs.EmitSpan(obs.EvCallbackRound, rsc, item.String(), d, "", note)
 		}()
 	}
+	// The policy may demote this operation to object grain (PS-AH on a
+	// conflict-heavy page): the decision is made once here, server side,
+	// and travels in the request so every client acts on the same answer.
+	objGrain := item.Level == storage.LevelObject && p.policy.CallbackObjectGrain(pageID)
 	for c := range clients {
 		p.stats.Inc(sim.CtrCallbacks)
 		if p.obs.Active() {
@@ -192,7 +198,7 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		}
 		_ = p.sys.net.Send(transport.Message{
 			From: p.name, To: c, Kind: kindCallback,
-			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID, Span: rsc},
+			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID, ObjectGrain: objGrain, Span: rsc},
 		}, transport.AnyPath)
 	}
 
@@ -272,6 +278,9 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 				}
 				blockedSeen[k] = true
 				downgraded = true
+				if pageID.Level == storage.LevelPage {
+					p.policy.Note(consistency.EvCallbackBlocked, pageID)
+				}
 				if p.obs.Active() {
 					p.obs.EmitSpan(obs.EvCallbackBlocked, rsc.Under(), ev.blocked.Item.String(), 0, ev.blocked.Client, "")
 				}
@@ -452,6 +461,7 @@ func (p *Peer) handleCallback(rq callbackReq) {
 	page := rq.Page
 	slot := rq.Item.Slot // DummySlot for dummy-object callbacks
 	pageLevel := rq.Item.Level == storage.LevelPage
+	p.policy.Note(consistency.EvCallbackReceived, page)
 
 	// Fast path: the page is not cached here (e.g. it was purged and the
 	// notice is still in flight). If a read for the page is pending, its
@@ -470,16 +480,18 @@ func (p *Peer) handleCallback(rq callbackReq) {
 	}
 	p.cs.mu.Unlock()
 
-	// Adaptive callbacks: try to take the whole page.
-	if p.cfg.Protocol.adaptiveCallbacks() || pageLevel {
+	// Page-first ("adaptive", §4.2) callbacks: try to take the whole page,
+	// unless the server demoted this operation to object grain.
+	if (p.policy.PageFirstCallbacks(page) && !rq.ObjectGrain) || pageLevel {
 		err := p.locks.Lock(cbid, page, lock.EX, lock.Options{NoWait: true, SkipAncestors: true})
 		if err == nil {
 			p.purgeWholePage(rq, page, pageLevel)
 			return
 		}
-		if pageLevel {
-			// PS or an explicit EX page lock: the whole page must go; block
-			// at the page level after reporting the conflict.
+		if pageLevel || !p.policy.ObjectFallback() {
+			// An explicit EX page lock — or a protocol with no object grain
+			// to fall back to (PS) — must take the whole page; block at the
+			// page level after reporting the conflict.
 			p.sendBlocked(rq, page, lock.EX, cbid)
 			if err := p.locks.Lock(cbid, page, lock.EX, lock.Options{SkipAncestors: true, Span: hsc}); err != nil {
 				p.sendAck(rq, false)

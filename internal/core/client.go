@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
@@ -43,10 +44,7 @@ func (t *Tx) ID() lock.TxID { return t.id }
 // lockTarget maps an object to the item actually locked: under PS the
 // system-wide granularity is the page.
 func (t *Tx) lockTarget(obj storage.ItemID) storage.ItemID {
-	if t.p.cfg.Protocol.objectGranularity() {
-		return obj
-	}
-	return obj.PageID()
+	return t.p.policy.LockTarget(obj)
 }
 
 // Read returns the current value of an object. Cached available objects
@@ -255,6 +253,15 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 		return err
 	}
 	target := t.lockTarget(obj)
+	if target.Level == storage.LevelObject && owner != p.name &&
+		p.policy.WantsPageGrain(pageID) && t.pageGrainSafe(pageID) {
+		// The advisor claims the paper's §7 per-hot-spot grain choice:
+		// lock the whole page up front. Advisory only — pageGrainSafe
+		// vetoes it whenever a partially available cached copy or another
+		// local transaction's locks could make the wider grain unsound,
+		// and requestWritePermission re-checks availability at ship time.
+		target = pageID
+	}
 
 	if err := p.locks.Lock(t.id, target, lock.EX, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return err
@@ -300,7 +307,21 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 	}
 	p.logCache.Append(wal.Record{Tx: t.id, Object: obj, Before: before, After: append([]byte(nil), data...)})
 	t.inner.MarkWrote(owner)
+	p.policy.Note(consistency.EvLocalWrite, pageID)
 	return nil
+}
+
+// pageGrainSafe reports whether an advised page-grain write lock is sound
+// right now: the cached copy (if any) must be fully available — the
+// whole-page permission would otherwise mark never-shipped slots available
+// — and no other local transaction may hold locks inside the page, which
+// the wider lock would wrongly cover.
+func (t *Tx) pageGrainSafe(pageID storage.ItemID) bool {
+	p := t.p
+	if avail, ok := p.pool.Avail(pageID); ok && !avail.FullFor(p.cfg.ObjectsPerPage) {
+		return false
+	}
+	return !p.locks.OthersHoldWithin(pageID, t.id, isCallbackThread)
 }
 
 // hasWritePermission reports a standing write permission: an adaptive (or
@@ -318,7 +339,16 @@ func (t *Tx) hasWritePermission(obj, pageID storage.ItemID) bool {
 func (t *Tx) requestWritePermission(obj, pageID, target storage.ItemID, owner string, sc obs.SpanContext) error {
 	p := t.p
 	havePage := p.pool.Contains(pageID)
-	if p.cfg.Protocol.objectTransfers() {
+	if havePage && target.Level == storage.LevelPage {
+		// A page-grain permission covers the whole page, and the fix-up
+		// below marks the written slot available: claiming a partially
+		// available copy would set that bit over bytes that were never
+		// shipped (or were undone by an abort). Re-fetch instead.
+		if avail, ok := p.pool.Avail(pageID); !ok || !avail.FullFor(p.cfg.ObjectsPerPage) {
+			havePage = false
+		}
+	}
+	if p.policy.TransferUnit() == consistency.UnitObject {
 		havePage = true // OS never ships pages; the object travels instead
 	}
 	haveObj := false
@@ -618,6 +648,7 @@ func (t *Tx) finish(commit bool, recs []wal.Record, sc obs.SpanContext) {
 // the adaptive lock.
 func (p *Peer) clientDeescalate(from string, rq deescReq) (any, error) {
 	page := rq.Page
+	p.policy.Note(consistency.EvDeescalated, page)
 	if p.cs.hasPendingWrite(page) {
 		p.cs.markPreDeescalated(page)
 	}

@@ -8,7 +8,11 @@
 // caches remote pages with per-object availability bits, acquires local
 // locks, generates redo log records, and answers callbacks from owners.
 //
-// Four cache consistency protocols are provided (§2, §4 of the paper):
+// The package implements only the mechanism — buffer pools, copy table,
+// lock manager, transport, WAL, callback plumbing. Every per-access
+// protocol decision (lock grain, transfer unit, callback strategy,
+// escalation) is delegated to an internal/consistency.Policy, one
+// implementation per protocol:
 //
 //	PS    — the basic page server: page-grain locking and callbacks.
 //	PSOO  — object-grain locking with pure object callbacks.
@@ -17,12 +21,17 @@
 //	PSAA  — PSOA plus adaptive locking: object writes opportunistically
 //	        escalate to per-transaction adaptive page locks, deescalated
 //	        on remote conflict.
+//	OS    — pure object server baseline: objects are the unit of
+//	        transfer and caching.
+//	PSAH  — PSAA plus a history-driven advisor that picks lock grain and
+//	        callback strategy per page (see internal/consistency).
 package core
 
 import (
 	"fmt"
 	"time"
 
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/obs/audit"
 	"adaptivecc/internal/sim"
@@ -30,54 +39,20 @@ import (
 	"adaptivecc/internal/transport"
 )
 
-// Protocol selects the cache consistency algorithm.
-type Protocol int
+// Protocol selects the cache consistency algorithm. The type and its
+// values live in internal/consistency; they are re-exported here so users
+// of core need not import the policy package.
+type Protocol = consistency.Protocol
 
-// The implemented protocols.
+// The implemented protocols. See internal/consistency for descriptions.
 const (
-	PS Protocol = iota + 1
-	PSOO
-	PSOA
-	PSAA
-	// OS is the pure object server baseline of the authors' earlier study
-	// (reference [5]): objects — not pages — are the unit of transfer and
-	// caching, with object-grain locking and callbacks. It is not part of
-	// the figures in this paper but serves as the comparison point for the
-	// poor-clustering discussion in §2.
-	OS
+	PS   = consistency.PS
+	PSOO = consistency.PSOO
+	PSOA = consistency.PSOA
+	PSAA = consistency.PSAA
+	OS   = consistency.OS
+	PSAH = consistency.PSAH
 )
-
-// String renders the protocol name as used in the paper.
-func (p Protocol) String() string {
-	switch p {
-	case PS:
-		return "PS"
-	case PSOO:
-		return "PS-OO"
-	case PSOA:
-		return "PS-OA"
-	case PSAA:
-		return "PS-AA"
-	case OS:
-		return "OS"
-	default:
-		return fmt.Sprintf("Protocol(%d)", int(p))
-	}
-}
-
-// objectGranularity reports whether consistency is tracked per object.
-func (p Protocol) objectGranularity() bool { return p != PS }
-
-// objectTransfers reports whether single objects (not pages) are shipped.
-func (p Protocol) objectTransfers() bool { return p == OS }
-
-// adaptiveCallbacks reports whether callbacks first try to invalidate the
-// whole page.
-func (p Protocol) adaptiveCallbacks() bool { return p == PSOA || p == PSAA || p == PS }
-
-// adaptiveLocking reports whether object writes may escalate to adaptive
-// page locks.
-func (p Protocol) adaptiveLocking() bool { return p == PSAA }
 
 // Config parameterizes a System.
 type Config struct {
@@ -151,9 +126,7 @@ func (c Config) resilient() bool { return c.RPCTimeout > 0 }
 
 // withDefaults fills zero fields.
 func (c Config) withDefaults() Config {
-	if c.Protocol == 0 {
-		c.Protocol = PSAA
-	}
+	c.Protocol = consistency.OrDefault(c.Protocol)
 	if c.ObjectsPerPage == 0 {
 		c.ObjectsPerPage = storage.DefaultObjectsPerPage
 	}

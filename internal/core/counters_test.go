@@ -127,6 +127,7 @@ func TestCounterCompleteness(t *testing.T) {
 	scenarioCrash(t, add)
 	scenarioClosedNetwork(t, add)
 	scenarioWriteBackError(t, add)
+	scenarioAdvisor(t, add)
 
 	for cname, counter := range declaredCounters(t) {
 		if union[counter] == 0 {
@@ -418,6 +419,34 @@ func scenarioWriteBackError(t *testing.T, add func(*sim.Stats)) {
 	}})
 	if tc.sys.Stats().Get(sim.CtrWriteBackErrors) == 0 {
 		t.Error("write-back of an unowned volume's page not counted as an error")
+	}
+	add(tc.sys.Stats())
+}
+
+// scenarioAdvisor drives the PS-AH history advisor's three decision
+// counters: false-sharing rounds until escalation is suppressed and
+// callbacks demote to object grain, then a quiet write streak on a
+// private page until a write upgrades to page grain.
+func scenarioAdvisor(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAH, 2, 8)
+	a, b := tc.clients[0], tc.clients[1]
+	for i := 0; i < 6; i++ {
+		ta := a.Begin()
+		writeVal(t, ta, objID(0, 0), "a"+itoa(i))
+		tb := b.Begin()
+		writeVal(t, tb, objID(0, 1), "b"+itoa(i))
+		mustCommit(t, ta)
+		mustCommit(t, tb)
+	}
+	streak := a.Begin()
+	for i := 0; i < 5; i++ {
+		writeVal(t, streak, objID(4, uint16(i%4)), "s"+itoa(i))
+	}
+	mustCommit(t, streak)
+	for _, c := range []string{sim.CtrAdvisorEscSuppressed, sim.CtrAdvisorObjectGrainCB, sim.CtrAdvisorPageGrainWrites} {
+		if tc.sys.Stats().Get(c) == 0 {
+			t.Errorf("advisor scenario left %s at zero", c)
+		}
 	}
 	add(tc.sys.Stats())
 }

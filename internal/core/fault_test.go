@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/obs/audit"
@@ -63,19 +64,11 @@ func faultPlanFor(kind string) *transport.FaultPlan {
 }
 
 func parseProtocol(t *testing.T, s string) Protocol {
-	switch s {
-	case "PS":
-		return PS
-	case "PS-OO", "PSOO":
-		return PSOO
-	case "PS-OA", "PSOA":
-		return PSOA
-	case "PS-AA", "PSAA":
-		return PSAA
-	default:
+	p, ok := consistency.Parse(s)
+	if !ok {
 		t.Fatalf("unknown FAULT_PROTOCOL %q", s)
-		return 0
 	}
+	return p
 }
 
 // TestFaultMatrix runs the serializability oracle under injected faults for
@@ -86,7 +79,7 @@ func parseProtocol(t *testing.T, s string) Protocol {
 // serializable and no worker may hang.
 func TestFaultMatrix(t *testing.T) {
 	kinds := []string{"drop", "dup", "delay", "crash"}
-	protos := []Protocol{PS, PSOA, PSAA}
+	protos := []Protocol{PS, PSOA, PSAA, PSAH}
 	txsPerClient := 12
 	if k := os.Getenv("FAULT_KIND"); k != "" {
 		kinds = []string{k}

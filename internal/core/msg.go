@@ -199,7 +199,13 @@ type callbackReq struct {
 	Tx     lock.TxID // the calling-back transaction
 	Item   storage.ItemID
 	Page   storage.ItemID
-	Span   obs.SpanContext
+	// ObjectGrain demotes the callback to object grain: the client must
+	// skip the page-first (whole-page purge) attempt even when its policy
+	// would normally make one. Set by the server's policy (PS-AH on pages
+	// with a conflict history) so both ends act on one decision; always
+	// false under the static protocols.
+	ObjectGrain bool
+	Span        obs.SpanContext
 }
 
 // callbackAck completes one client's part of a callback operation.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
@@ -27,6 +28,11 @@ type Peer struct {
 	stats *sim.Stats
 	waits *sim.WaitTracker
 	obs   *obs.Registry // nil unless the system's Config.Obs is enabled
+
+	// policy makes every per-access protocol decision (lock grain,
+	// transfer unit, callback strategy, escalation); the peer itself is
+	// pure mechanism. Never nil.
+	policy consistency.Policy
 
 	locks    *lock.Manager
 	pool     *buffer.Pool // client role: cache of remote pages
@@ -121,6 +127,7 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 		cfg:          cfg,
 		cpu:          sim.NewResource("cpu-"+name, cfg.Costs),
 		stats:        s.stats,
+		policy:       consistency.PolicyFor(cfg.Protocol, s.stats),
 		waits:        waits,
 		locks:        lock.NewManager(s.stats, waits),
 		pool:         buffer.NewPool(clientPoolPages),

@@ -1,0 +1,157 @@
+// PS-AH end-to-end behavior: the history advisor must separate itself
+// from PS-AA on a false-sharing hot spot (stop the grant/deescalate
+// thrash) while cold pages stay bit-for-bit PSAA (see the parity-style
+// comparison below).
+package core
+
+import (
+	"testing"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+)
+
+// runFalseSharingRounds drives the PSAA worst case: two clients with
+// overlapping transactions write different objects of one page, round
+// after round. Under PSAA every round grants the first writer an adaptive
+// page lock only for the second writer to tear it down (one deescalation
+// RPC per round, §4.1's pathological case). All calls are sequential, so
+// the counters are deterministic.
+func runFalseSharingRounds(t *testing.T, proto Protocol, rounds int) map[string]int64 {
+	t.Helper()
+	tc := newCluster(t, proto, 2, 8)
+	a, b := tc.clients[0], tc.clients[1]
+	for i := 0; i < rounds; i++ {
+		ta := a.Begin()
+		writeVal(t, ta, objID(0, 0), "a"+itoa(i))
+		tb := b.Begin()
+		writeVal(t, tb, objID(0, 1), "b"+itoa(i))
+		mustCommit(t, ta)
+		mustCommit(t, tb)
+	}
+	return tc.sys.Stats().Snapshot()
+}
+
+// TestAdvisorStopsDeescalationThrash: PS-AH must beat PS-AA on the
+// false-sharing hot spot — once the history shows the adaptive grant being
+// repeatedly torn down, escalation is suppressed and the deescalation
+// traffic stops; PS-AA keeps paying it every round.
+func TestAdvisorStopsDeescalationThrash(t *testing.T) {
+	const rounds = 6
+	aa := runFalseSharingRounds(t, PSAA, rounds)
+	ah := runFalseSharingRounds(t, PSAH, rounds)
+
+	if aa[sim.CtrDeescalations] < 4 {
+		t.Fatalf("PSAA deescalated only %d times in %d rounds; the scenario no longer thrashes",
+			aa[sim.CtrDeescalations], rounds)
+	}
+	if ah[sim.CtrDeescalations] > 2 {
+		t.Errorf("PSAH deescalated %d times; advisor failed to suppress the thrash (PSAA: %d)",
+			ah[sim.CtrDeescalations], aa[sim.CtrDeescalations])
+	}
+	if ah[sim.CtrAdvisorEscSuppressed] == 0 {
+		t.Error("PSAH suppressed no escalations on a thrashing page")
+	}
+	if ah[sim.CtrDeescalations] >= aa[sim.CtrDeescalations] {
+		t.Errorf("PSAH deescalations (%d) not below PSAA (%d)",
+			ah[sim.CtrDeescalations], aa[sim.CtrDeescalations])
+	}
+	// Object-grain callbacks keep the page partially cached at both
+	// clients, so PS-AH must also re-ship the page less often.
+	if ah[sim.CtrPageTransfers] > aa[sim.CtrPageTransfers] {
+		t.Errorf("PSAH shipped %d pages, more than PSAA's %d",
+			ah[sim.CtrPageTransfers], aa[sim.CtrPageTransfers])
+	}
+}
+
+// TestAdvisorColdMatchesPSAA: on a conflict-free workload the advisor must
+// be indistinguishable from PSAA — same requests, ships, grants, traffic.
+func TestAdvisorColdMatchesPSAA(t *testing.T) {
+	aa := runParityScript(t, PSAA)
+	ah := runParityScript(t, PSAH)
+	for _, c := range parityCounters {
+		if aa[c] != ah[c] {
+			t.Errorf("counter %s: PSAH %d != PSAA %d on a cold workload", c, ah[c], aa[c])
+		}
+	}
+}
+
+// TestAdvisorPageGrainWriteStreak: a client writing one private page long
+// enough earns an up-front page-grain write lock; the wider grain must
+// still produce correct data and must never fire on a partially available
+// page (pageGrainSafe's availability veto).
+func TestAdvisorPageGrainWriteStreak(t *testing.T) {
+	tc := newCluster(t, PSAH, 1, 8)
+	a := tc.clients[0]
+
+	x := a.Begin()
+	// Streak: objectsPerPage is 4 in newCluster, so five writes revisit
+	// slot 0. The fifth write sees a four-write quiet history and upgrades.
+	for i := 0; i < 5; i++ {
+		writeVal(t, x, objID(2, uint16(i%4)), "v"+itoa(i))
+	}
+	mustCommit(t, x)
+	if got := tc.sys.Stats().Get(sim.CtrAdvisorPageGrainWrites); got == 0 {
+		t.Error("no page-grain upgrade after a five-write quiet streak")
+	}
+	// The upgraded lock must not have corrupted anything.
+	y := a.Begin()
+	for s := uint16(0); s < 4; s++ {
+		want := "v" + itoa(int(s))
+		if s == 0 {
+			want = "v4"
+		}
+		if got := readVal(t, y, objID(2, s)); got != want {
+			t.Errorf("slot %d = %q, want %q", s, got, want)
+		}
+	}
+	mustCommit(t, y)
+}
+
+// TestPageGrainSafeVetoesPartialPage: the mechanism must refuse the
+// advisor's page-grain wish while the cached copy has unavailable slots —
+// honoring it would let the write-permission fix-up mark bytes available
+// that were never shipped.
+func TestPageGrainSafeVetoesPartialPage(t *testing.T) {
+	tc := newCluster(t, PSAH, 1, 8)
+	a := tc.clients[0]
+
+	// Cache page 3 with a hole: read one object, then clear another slot's
+	// availability as a callback would.
+	warm := a.Begin()
+	readVal(t, warm, objID(3, 0))
+	mustCommit(t, warm)
+	if !a.pool.SetAvail(pageID(3), 2, false) {
+		t.Fatal("could not punch availability hole")
+	}
+
+	x := a.Begin()
+	if x.pageGrainSafe(pageID(3)) {
+		t.Error("pageGrainSafe accepted a partially available page")
+	}
+	// A fully available page with no other holders is safe.
+	if avail, ok := a.pool.Avail(pageID(3)); !ok || avail.FullFor(4) {
+		t.Fatal("test setup: page 3 should be cached with a hole")
+	}
+	warm2 := a.Begin()
+	readVal(t, warm2, objID(4, 0))
+	mustCommit(t, warm2)
+	for s := uint16(0); s < 4; s++ {
+		a.pool.SetAvail(pageID(4), s, true)
+	}
+	if !x.pageGrainSafe(pageID(4)) {
+		t.Error("pageGrainSafe rejected a fully available page with no other holders")
+	}
+	// Another transaction's object lock inside the page vetoes it.
+	other := a.Begin()
+	if err := a.locks.Lock(other.id, objID(4, 1), lock.SH, lock.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if x.pageGrainSafe(pageID(4)) {
+		t.Error("pageGrainSafe ignored another transaction's lock inside the page")
+	}
+	_ = other.Abort()
+	if err := x.Abort(); err != nil {
+		t.Fatal(err)
+	}
+}

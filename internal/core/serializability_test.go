@@ -18,7 +18,7 @@ import (
 // read records which committed version it observed, and the conflict graph
 // of the committed history must be acyclic.
 func TestSerializabilityOracle(t *testing.T) {
-	for _, proto := range []Protocol{PS, PSOO, PSOA, PSAA, OS} {
+	for _, proto := range []Protocol{PS, PSOO, PSOA, PSAA, PSAH, OS} {
 		t.Run(proto.String(), func(t *testing.T) {
 			tc := newCluster(t, proto, 3, 4)
 			hist := verify.NewHistory()

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/buffer"
+	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
@@ -60,7 +61,7 @@ func (p *Peer) srvRead(from string, sc obs.SpanContext, rq readReq) (any, error)
 		// page is shipped and no copy-table entry is made.
 		return readResp{}, nil
 	}
-	if p.cfg.Protocol.objectTransfers() && !rq.WholePage {
+	if p.policy.TransferUnit() == consistency.UnitObject && !rq.WholePage {
 		// OS: ship only the requested object. The copy table still tracks
 		// the page so callbacks reach every client caching any of its
 		// objects.
@@ -114,7 +115,7 @@ func (p *Peer) srvWrite(from string, sc obs.SpanContext, rq writeReq) (any, erro
 		// PS or explicit EX page lock: the page-level EX lock itself is the
 		// standing write permission for the whole page.
 		resp.Adaptive = true
-	case p.cfg.Protocol.adaptiveLocking():
+	case p.policy.EscalateOnWrite(pageID):
 		if allInvalidated && !p.foreignObjectLocks(pageID, from, rq.Tx) {
 			p.locks.SetAdaptive(rq.Tx, pageID, true)
 			p.stats.Inc(sim.CtrAdaptiveGrants)
@@ -147,7 +148,7 @@ func (p *Peer) srvWrite(from string, sc obs.SpanContext, rq writeReq) (any, erro
 				return nil, err
 			}
 			resp.ObjData = data
-			if p.cfg.Protocol.objectTransfers() {
+			if p.policy.TransferUnit() == consistency.UnitObject {
 				// OS: shipping the object establishes a cached copy.
 				resp.Install = p.ct.addCopy(pageID, from)
 			}
@@ -243,6 +244,7 @@ func (p *Peer) srvDeescalate(pageID storage.ItemID, requester string, sc obs.Spa
 		return nil
 	}
 	p.stats.Inc(sim.CtrDeescalations)
+	p.policy.Note(consistency.EvDeescalated, pageID)
 	if p.obs.Active() {
 		p.obs.EmitSpan(obs.EvDeescalation, sc.Under(), pageID.String(), 0, client, "adaptive lock torn down")
 	}

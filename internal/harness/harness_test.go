@@ -162,12 +162,12 @@ func TestResultCountersPopulated(t *testing.T) {
 
 func TestFiguresCoverPaper(t *testing.T) {
 	figs := Figures()
-	if len(figs) != 10 {
-		t.Fatalf("Figures = %d, want 10 (paper figs 6-15)", len(figs))
+	if len(figs) != 11 {
+		t.Fatalf("Figures = %d, want 11 (paper figs 6-15 + the HOTSPOT fig 16)", len(figs))
 	}
 	seen := make(map[int]bool)
 	for _, f := range figs {
-		if f.Number < 6 || f.Number > 15 {
+		if f.Number < 6 || f.Number > 16 {
 			t.Errorf("figure %d out of range", f.Number)
 		}
 		if seen[f.Number] {
@@ -181,15 +181,32 @@ func TestFiguresCoverPaper(t *testing.T) {
 			t.Errorf("figure %d has no expectation", f.Number)
 		}
 	}
-	// Client-server figures are 6-11, peer-servers 12-15.
+	// Client-server figures are 6-11, peer-servers 12-15; the added
+	// HOTSPOT figure 16 runs client-server again.
 	for _, f := range figs {
 		wantMode := ClientServer
-		if f.Number >= 12 {
+		if f.Number >= 12 && f.Number <= 15 {
 			wantMode = PeerServers
 		}
 		if f.Mode != wantMode {
 			t.Errorf("figure %d mode = %v, want %v", f.Number, f.Mode, wantMode)
 		}
+	}
+	fig16, ok := FigureByNumber(16)
+	if !ok {
+		t.Fatal("FigureByNumber(16) missing")
+	}
+	if fig16.Workload != workload.HotSpot {
+		t.Errorf("figure 16 workload = %v, want HOTSPOT", fig16.Workload)
+	}
+	hasAH := false
+	for _, pr := range fig16.Protocols {
+		if pr == core.PSAH {
+			hasAH = true
+		}
+	}
+	if !hasAH {
+		t.Error("figure 16 does not plot PS-AH")
 	}
 	if _, ok := FigureByNumber(6); !ok {
 		t.Error("FigureByNumber(6) missing")

@@ -123,6 +123,24 @@ func (m *Manager) ForEachLock(fn func(Info) bool) {
 	}
 }
 
+// OthersHoldWithin reports whether any transaction other than self holds
+// a granted lock on item or one of its descendants. Identities for which
+// ignore returns true (callback threads, say) are not counted. The
+// consistency-policy layer uses it as a grain hint: a write may widen to
+// page grain only while no other local transaction holds locks inside the
+// page. The answer is a snapshot with ForEachLockWithin's caveats.
+func (m *Manager) OthersHoldWithin(item storage.ItemID, self TxID, ignore func(TxID) bool) bool {
+	found := false
+	m.ForEachLockWithin(item, func(in Info) bool {
+		if in.Tx == self || (ignore != nil && ignore(in.Tx)) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}
+
 // LocksWithin lists every granted lock on item or its descendants. The
 // protocol uses it to compute unavailable-object masks before shipping a
 // page and to collect the object locks replicated during deescalation and

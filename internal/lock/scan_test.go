@@ -1,0 +1,56 @@
+package lock
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestOthersHoldWithin(t *testing.T) {
+	m := newTestManager()
+	pg := page(3)
+
+	// Empty page: nobody holds anything.
+	if m.OthersHoldWithin(pg, txA, nil) {
+		t.Error("empty page reported foreign locks")
+	}
+
+	// Only the asking transaction's own locks: still clear.
+	if err := m.Lock(txA, obj(3, 0), EX, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if m.OthersHoldWithin(pg, txA, nil) {
+		t.Error("own object lock counted as foreign")
+	}
+
+	// Another transaction's object lock is foreign — from either view.
+	if err := m.Lock(txB, obj(3, 1), SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.OthersHoldWithin(pg, txA, nil) {
+		t.Error("txB's object lock not seen by txA")
+	}
+	if !m.OthersHoldWithin(pg, txB, nil) {
+		t.Error("txA's object lock not seen by txB")
+	}
+
+	// The ignore filter drops identities (the callback-thread case).
+	ignoreB := func(id TxID) bool { return strings.HasPrefix(id.Site, "B") }
+	if m.OthersHoldWithin(pg, txA, ignoreB) {
+		t.Error("ignored identity still counted")
+	}
+
+	// A lock on the page head itself (not just descendants) counts too.
+	m.ReleaseAll(txA)
+	m.ReleaseAll(txB)
+	if err := m.Lock(txC, pg, SH, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if !m.OthersHoldWithin(pg, txA, nil) {
+		t.Error("page-level lock not counted")
+	}
+
+	// Other pages are out of scope.
+	if m.OthersHoldWithin(page(4), txA, nil) {
+		t.Error("scan leaked outside the page")
+	}
+}

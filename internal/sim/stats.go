@@ -54,6 +54,11 @@ const (
 	CtrFaultDups       = "fault_dups"        // messages duplicated by fault injection
 	CtrFaultDelays     = "fault_delays"      // messages delayed/reordered by fault injection
 	CtrCrashDrops      = "crash_drops"       // sends refused because an endpoint was crashed
+
+	// PS-AH history-advisor decisions (internal/consistency).
+	CtrAdvisorEscSuppressed   = "advisor_esc_suppressed"   // adaptive grants suppressed by deescalation history
+	CtrAdvisorObjectGrainCB   = "advisor_object_callbacks" // callback ops demoted to object grain by history
+	CtrAdvisorPageGrainWrites = "advisor_page_writes"      // writes upgraded to page grain by a quiet-streak
 )
 
 // NewStats returns an empty counter set.

@@ -20,6 +20,12 @@ const (
 	Uniform
 	HiCon
 	Private
+	// HotSpot is not from Table 2: every application shares one small hot
+	// page set but writes only its own slot of each hot page, so
+	// concurrent writers false-share hot pages. The pattern thrashes
+	// PS-AA's adaptive locking (grant, deescalate, repeat) and is the
+	// scenario that separates the PS-AH history advisor from PS-AA.
+	HotSpot
 )
 
 // String renders the workload name.
@@ -33,6 +39,8 @@ func (k Kind) String() string {
 		return "HICON"
 	case Private:
 		return "PRIVATE"
+	case HotSpot:
+		return "HOTSPOT"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -58,6 +66,12 @@ type Params struct {
 	ColdWrtProb float64
 	// ObjectsPerPage bounds slot selection.
 	ObjectsPerPage int
+	// HotSlotPinned pins every hot-range access to HotSlot (one reference
+	// per hot page, updated with HotWrtProb). HOTSPOT gives each
+	// application its own slot so concurrent writers false-share the hot
+	// pages without ever touching the same object.
+	HotSlotPinned bool
+	HotSlot       uint16
 }
 
 // Ref is one object reference in a transaction's string.
@@ -142,6 +156,14 @@ func (g *Generator) Next() Transaction {
 
 	var refs []Ref
 	for _, page := range order {
+		if p.HotSlotPinned && g.isHot(page) {
+			refs = append(refs, Ref{
+				Page:  page,
+				Slot:  p.HotSlot,
+				Write: g.rng.Float64() < p.HotWrtProb,
+			})
+			continue
+		}
 		nObjs := p.PageLocalityMin
 		if p.PageLocalityMax > p.PageLocalityMin {
 			nObjs += g.rng.Intn(p.PageLocalityMax - p.PageLocalityMin + 1)
@@ -221,6 +243,31 @@ func Spec(kind Kind, n, numApps int, dbPages uint32, highLocality bool, writePro
 		p.HotHi = p.HotLo + slice
 		p.ColdLo, p.ColdHi = p.HotLo, p.HotHi
 		p.HotAccProb = 0.8
+	case HotSpot:
+		// One small shared hot set, each application pinned to its own
+		// slot (always an update); the cold remainder is private per
+		// application, as in PRIVATE.
+		hot := dbPages / 100
+		if hot == 0 {
+			hot = 1
+		}
+		p.HotLo, p.HotHi = 0, hot
+		slice := (dbPages - hot) / uint32(numApps)
+		if slice == 0 {
+			slice = 1
+		}
+		p.ColdLo = hot + uint32(n)*slice
+		p.ColdHi = p.ColdLo + slice
+		if p.ColdHi > dbPages {
+			p.ColdHi = dbPages
+		}
+		if p.ColdLo >= p.ColdHi {
+			p.ColdLo, p.ColdHi = hot, dbPages
+		}
+		p.HotAccProb = 0.5
+		p.HotWrtProb = 1
+		p.HotSlotPinned = true
+		p.HotSlot = uint16(n % objectsPerPage)
 	default:
 		return Params{}, fmt.Errorf("workload: unknown kind %v", kind)
 	}

@@ -207,6 +207,47 @@ func TestSpecPrivateDisjoint(t *testing.T) {
 	}
 }
 
+func TestSpecHotSpot(t *testing.T) {
+	// Every app shares the same small hot set, writes only its own slot
+	// there, and keeps a private cold slice outside it.
+	var hotLo, hotHi uint32
+	for n := 0; n < 4; n++ {
+		p, err := Spec(HotSpot, n, 4, 1200, false, 0.1, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			hotLo, hotHi = p.HotLo, p.HotHi
+			if hotLo != 0 || hotHi == 0 || hotHi > 12 {
+				t.Fatalf("hot set [%d,%d) not a small prefix", hotLo, hotHi)
+			}
+		} else if p.HotLo != hotLo || p.HotHi != hotHi {
+			t.Errorf("app %d hot set [%d,%d) differs from app 0's [%d,%d)",
+				n, p.HotLo, p.HotHi, hotLo, hotHi)
+		}
+		if !p.HotSlotPinned || p.HotSlot != uint16(n%20) {
+			t.Errorf("app %d slot pin = (%v, %d), want (true, %d)",
+				n, p.HotSlotPinned, p.HotSlot, n%20)
+		}
+		if p.HotWrtProb != 1 {
+			t.Errorf("app %d hot writes prob = %v, want 1 (pure false sharing)", n, p.HotWrtProb)
+		}
+		if p.ColdLo < hotHi || p.ColdHi <= p.ColdLo || p.ColdHi > 1200 {
+			t.Errorf("app %d cold slice [%d,%d) overlaps the hot set or the DB end",
+				n, p.ColdLo, p.ColdHi)
+		}
+		if _, err := NewGenerator(p, 1); err != nil {
+			t.Fatalf("HOTSPOT spec rejected: %v", err)
+		}
+	}
+	// Two different apps must not share a cold slice.
+	a, _ := Spec(HotSpot, 0, 4, 1200, false, 0.1, 20)
+	b, _ := Spec(HotSpot, 1, 4, 1200, false, 0.1, 20)
+	if a.ColdHi > b.ColdLo && b.ColdHi > a.ColdLo {
+		t.Errorf("cold slices overlap: [%d,%d) and [%d,%d)", a.ColdLo, a.ColdHi, b.ColdLo, b.ColdHi)
+	}
+}
+
 func TestSpecLocalityClamped(t *testing.T) {
 	// With 4-object pages, the 8-16 locality must clamp.
 	p, err := Spec(HotCold, 0, 10, 100, true, 0.1, 4)

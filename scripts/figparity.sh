@@ -1,0 +1,59 @@
+#!/bin/sh
+# figparity.sh — structural parity check for the committed figure files.
+#
+# Regenerates figure output with cmd/shorebench and diffs it against the
+# committed golden with every numeric field masked. Throughput depends on
+# the machine and the wall clock, so the numbers can never be compared
+# directly; the *structure* — which figures render, which protocol series
+# appear, how many sweep points each has, and the exact line format — must
+# not drift silently. Masking makes the check timing-independent, which
+# also lets CI run it with short measurement windows.
+#
+# usage: scripts/figparity.sh <golden-file> <shorebench flags...>
+#
+#   scripts/figparity.sh figures_table1_fig6.txt \
+#       -fig 6 -scale 0.02 -warmup 200ms -measure 800ms
+#
+# The goldens themselves are produced with full-length windows (see the
+# commands recorded at the top of each committed file's history):
+#
+#   go run ./cmd/shorebench -fig 6 -scale 0.25 > figures_table1_fig6.txt
+#   go run ./cmd/shorebench -fig 6 -small -scale 0.1 > figures_small.txt
+set -eu
+
+if [ $# -lt 2 ]; then
+    echo "usage: $0 <golden-file> <shorebench flags...>" >&2
+    exit 2
+fi
+
+golden=$1
+shift
+
+if [ ! -f "$golden" ]; then
+    echo "figparity: golden file $golden does not exist" >&2
+    exit 1
+fi
+
+tmp=$(mktemp -d)
+trap 'rm -rf "$tmp"' EXIT
+
+# No -quiet: the goldens include the per-point progress lines
+# (commits/aborts/messages per series point), and those are structure too.
+go run ./cmd/shorebench "$@" > "$tmp/fresh.txt"
+
+# Mask every integer or decimal so only structure remains.
+mask() {
+    sed -E 's/-?[0-9]+([.][0-9]+)?/N/g' "$1"
+}
+
+mask "$golden" > "$tmp/golden.masked"
+mask "$tmp/fresh.txt" > "$tmp/fresh.masked"
+
+if ! diff -u "$tmp/golden.masked" "$tmp/fresh.masked"; then
+    echo "" >&2
+    echo "figparity: $golden is structurally stale (see masked diff above)." >&2
+    echo "Regenerate it with full-length windows and commit the result:" >&2
+    echo "  go run ./cmd/shorebench <full-window flags> > $golden" >&2
+    exit 1
+fi
+echo "figparity: $golden matches (numbers masked)"
