@@ -5,7 +5,8 @@
 # already present), or the path given as $1.
 #
 # Each entry carries the benchmark name, iteration count, and every metric
-# the benchmark reported (ns/op plus custom metrics such as "tps:PS:w=0.02").
+# the benchmark reported (ns/op, B/op, allocs/op, plus custom metrics such
+# as "tps:PS:w=0.02").
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -24,10 +25,10 @@ tmp=$(mktemp)
 trap 'rm -f "$tmp"' EXIT
 
 {
-  go test -run '^$' -benchtime=1s \
+  go test -run '^$' -benchtime=1s -benchmem \
     -bench 'BenchmarkUncontendedGrantRelease|BenchmarkMixedParallel|BenchmarkLocksWithinTable|BenchmarkConflictingOnHotPage' \
     ./internal/lock/
-  go test -run '^$' -bench 'BenchmarkFig06' -benchtime=1x .
+  go test -run '^$' -bench 'BenchmarkFig06' -benchtime=1x -benchmem .
 } | tee "$tmp"
 
 awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" -v commit="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)" '

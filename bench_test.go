@@ -231,6 +231,7 @@ func BenchmarkAblationSHPagePropagation(b *testing.B) {
 // --- Substrate micro-benchmarks ---
 
 func BenchmarkLockManagerAcquireRelease(b *testing.B) {
+	b.ReportAllocs()
 	m := lock.NewManager(nil, nil)
 	txid := lock.TxID{Site: "bench", Seq: 1}
 	obj := storage.ObjectItem(1, 1, 1, 1)
@@ -244,6 +245,7 @@ func BenchmarkLockManagerAcquireRelease(b *testing.B) {
 }
 
 func BenchmarkLockManagerHierarchicalScan(b *testing.B) {
+	b.ReportAllocs()
 	m := lock.NewManager(nil, nil)
 	for s := uint16(0); s < 20; s++ {
 		txid := lock.TxID{Site: "bench", Seq: uint64(s + 1)}
@@ -261,6 +263,7 @@ func BenchmarkLockManagerHierarchicalScan(b *testing.B) {
 }
 
 func BenchmarkEndToEndCachedRead(b *testing.B) {
+	b.ReportAllocs()
 	cl, err := newBenchCluster(core.PSAA)
 	if err != nil {
 		b.Fatal(err)
@@ -287,6 +290,7 @@ func BenchmarkEndToEndCachedRead(b *testing.B) {
 }
 
 func BenchmarkEndToEndWriteCommit(b *testing.B) {
+	b.ReportAllocs()
 	cl, err := newBenchCluster(core.PSAA)
 	if err != nil {
 		b.Fatal(err)

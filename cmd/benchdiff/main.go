@@ -6,16 +6,20 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 0.15] [-metric ns/op] [-pgate 40] old.json new.json
+//	benchdiff [-threshold 0.15] [-metric ns/op] [-allocslack 0] [-pgate 40] old.json new.json
 //
 // Benchmarks present in only one report are listed but never fatal (new
 // benchmarks appear, old ones get renamed). Custom throughput metrics
 // (tps:*) are reported for information only: wall-clock figure numbers on
-// shared CI runners are too noisy to gate on. Latency percentiles are
-// likewise informational by default; -pgate <pct> opts in to failing when
-// any p99-* percentile regresses by more than that percentage (tail
-// latencies are the noisiest numbers a shared runner produces, so the gate
-// is opt-in and its threshold deliberately separate from -threshold).
+// shared CI runners are too noisy to gate on. allocs/op is gated
+// alongside the time metric whenever both reports carry it: unlike
+// wall-clock numbers, allocation counts are deterministic, so ANY growth
+// beyond -allocslack (default 0) allocations per op is fatal. Latency
+// percentiles are informational by default; -pgate <pct> opts in to
+// failing when any p99-* percentile regresses by more than that
+// percentage (tail latencies are the noisiest numbers a shared runner
+// produces, so the gate is opt-in and its threshold deliberately separate
+// from -threshold).
 package main
 
 import (
@@ -94,6 +98,7 @@ func run(args []string, out *os.File) error {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	threshold := fs.Float64("threshold", 0.15, "fatal regression fraction (0.15 = 15% slower)")
 	metric := fs.String("metric", "ns/op", "metric to gate on (lower is better)")
+	allocSlack := fs.Float64("allocslack", 0, "allowed allocs/op growth before failing (-1 disables the allocation gate)")
 	pgate := fs.Float64("pgate", 0, "fatal p99 regression percent (40 = fail when a p99-* metric grows >40%; 0 disables)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -162,6 +167,7 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "  GONE  %s\n", name)
 	}
 
+	aRegressions := printAllocs(out, names, oldBy, newBy, *allocSlack)
 	pRegressions := printPercentiles(out, names, oldBy, newBy, *pgate)
 
 	span := commitSpan(oldRep.Commit, newRep.Commit)
@@ -169,12 +175,56 @@ func run(args []string, out *os.File) error {
 		return fmt.Errorf("%d benchmark(s) regressed more than %.0f%%%s:\n  %s",
 			len(regressions), *threshold*100, span, joinLines(regressions))
 	}
+	if len(aRegressions) > 0 {
+		return fmt.Errorf("%d benchmark(s) gained allocations%s:\n  %s",
+			len(aRegressions), span, joinLines(aRegressions))
+	}
 	if len(pRegressions) > 0 {
 		return fmt.Errorf("%d p99 percentile(s) regressed more than %.0f%%%s:\n  %s",
 			len(pRegressions), *pgate, span, joinLines(pRegressions))
 	}
 	fmt.Fprintf(out, "\nno regression beyond %.0f%%\n", *threshold*100)
 	return nil
+}
+
+// printAllocs gates the allocs/op metric. Allocation counts are
+// deterministic — unlike wall-clock time, they do not wobble with runner
+// load — so the gate is absolute: a benchmark whose allocs/op grew by more
+// than slack allocations fails, however small the growth looks as a
+// percentage. Reports predating -benchmem simply lack the metric and are
+// skipped, so old-vs-new diffs keep working. slack < 0 disables the gate.
+func printAllocs(out *os.File, names []string, oldBy, newBy map[string]benchEntry, slack float64) []string {
+	if slack < 0 {
+		return nil
+	}
+	header := false
+	var regressions []string
+	for _, name := range names {
+		ob, ok := oldBy[name]
+		if !ok {
+			continue
+		}
+		nb := newBy[name]
+		ov, okOld := ob.Metrics["allocs/op"]
+		nv, okNew := nb.Metrics["allocs/op"]
+		if !okOld || !okNew {
+			continue
+		}
+		if !header {
+			fmt.Fprintf(out, "\nallocations (gate: +%g allocs/op):\n", slack)
+			header = true
+		}
+		status := "ok"
+		if nv > ov+slack {
+			status = "FAIL"
+			regressions = append(regressions,
+				fmt.Sprintf("%s: allocs/op %g -> %g", name, ov, nv))
+		} else if nv < ov {
+			status = "fewer"
+		}
+		fmt.Fprintf(out, "  %-5s %-40s allocs/op %g -> %g\n", status, name, ov, nv)
+	}
+	return regressions
 }
 
 // printPercentiles reports latency percentile metrics (names like

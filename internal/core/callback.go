@@ -163,7 +163,10 @@ func (p *Peer) runFileCallbackOp(txid lock.TxID, file storage.ItemID, requester 
 // the error — the invariant auditor matches the ack set against the send
 // set only for rounds that claim success.
 func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID, clients map[string]uint64, sc obs.SpanContext) (downgraded bool, err error) {
-	rsc := p.obs.StartSpan(txid.String(), sc)
+	var rsc obs.SpanContext
+	if p.obs.Active() {
+		rsc = p.obs.StartSpan(txid.String(), sc)
+	}
 	op := &cbOp{
 		id: p.newOpID(), tx: txid, item: item, sc: rsc,
 		events:  make(chan cbEvent, len(clients)*4),
@@ -196,9 +199,11 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		if p.obs.Active() {
 			p.obs.EmitSpan(obs.EvCallbackSent, rsc.Under(), item.String(), 0, c, "")
 		}
+		req := getCbReq()
+		*req = callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID, ObjectGrain: objGrain, Span: rsc}
 		_ = p.sys.net.Send(transport.Message{
 			From: p.name, To: c, Kind: kindCallback,
-			Payload: callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID, ObjectGrain: objGrain, Span: rsc},
+			Payload: req,
 		}, transport.AnyPath)
 	}
 
@@ -392,7 +397,8 @@ func (p *Peer) forceGrantReplica(r lockReplica) {
 		return
 	}
 	intent := lock.IntentionFor(r.Mode)
-	for _, anc := range r.Item.Ancestors() {
+	chain, n := r.Item.AncestorChain()
+	for _, anc := range chain[:n] {
 		p.locks.ForceGrant(r.Tx, anc, intent)
 	}
 	p.locks.ForceGrant(r.Tx, r.Item, r.Mode)
@@ -444,7 +450,10 @@ func downgradeFor(cur lock.Mode, conflicts []lock.Mode) lock.Mode {
 // it runs in its own goroutine, may block on local locks (reporting the
 // conflict to the server first), invalidates the page or object, and acks.
 func (p *Peer) handleCallback(rq callbackReq) {
-	hsc := p.obs.StartSpan(rq.Tx.String(), rq.Span)
+	var hsc obs.SpanContext
+	if p.obs.Active() {
+		hsc = p.obs.StartSpan(rq.Tx.String(), rq.Span)
+	}
 	if p.obs.Active() {
 		start := time.Now()
 		defer func() {
@@ -605,8 +614,16 @@ func (p *Peer) sendBlocked(rq callbackReq, item storage.ItemID, mode lock.Mode, 
 	}, transport.AnyPath)
 }
 
-// sendAck completes this client's part of a callback operation.
+// sendAck completes this client's part of a callback operation. With
+// batching on, the ack joins the outbox and rides the next message to the
+// server (or a deadline flush); the round's progress timer tolerates the
+// added latency, and blocked reports still travel immediately.
 func (p *Peer) sendAck(rq callbackReq, invalidated bool) {
+	if p.outbox != nil {
+		p.stats.Inc(sim.CtrOutboxAcks)
+		p.outbox.addAck(rq.Server, callbackAck{OpID: rq.OpID, Client: p.name, Invalidated: invalidated})
+		return
+	}
 	_ = p.sys.net.Send(transport.Message{
 		From: p.name, To: rq.Server, Kind: kindCallbackAck,
 		Payload: callbackAck{OpID: rq.OpID, Client: p.name, Invalidated: invalidated},

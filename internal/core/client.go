@@ -59,7 +59,10 @@ func (t *Tx) Read(obj storage.ItemID) ([]byte, error) {
 	}
 	p := t.p
 	p.stats.Inc(sim.CtrObjectReads)
-	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	var sc obs.SpanContext
+	if p.obs.Active() {
+		sc = p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	}
 	if p.obs.Active() {
 		start := time.Now()
 		defer func() {
@@ -223,6 +226,10 @@ func (p *Peer) noticeEvictions(evs []buffer.Eviction) {
 			// client no longer holds the bytes.
 			p.flushPurges(owner)
 		}
+		// A record-less purge keeps its ride-only piggyback semantics even
+		// under Config.Batch: it waits in purgeQ for the next message to
+		// this owner (including any ack/release deadline flush), exactly as
+		// in the unbatched protocol.
 	}
 }
 
@@ -240,7 +247,10 @@ func (t *Tx) Write(obj storage.ItemID, data []byte) error {
 	}
 	p := t.p
 	p.stats.Inc(sim.CtrObjectWrites)
-	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	var sc obs.SpanContext
+	if p.obs.Active() {
+		sc = p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	}
 	if p.obs.Active() {
 		start := time.Now()
 		defer func() {
@@ -439,8 +449,9 @@ func (t *Tx) LockItem(item storage.ItemID, mode lock.Mode) error {
 		return fmt.Errorf("core: object locks are implicit; use Read/Write")
 	}
 	p := t.p
-	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	var sc obs.SpanContext
 	if p.obs.Active() {
+		sc = p.obs.StartSpan(t.id.String(), obs.SpanContext{})
 		p.obs.EmitSpan(obs.EvLockRequest, sc.Under(), item.String(), 0, "", mode.String())
 		start := time.Now()
 		defer func() {
@@ -528,8 +539,9 @@ func (t *Tx) Commit() error {
 	// The commit span is a trace root: the critical-path analyzer treats a
 	// trace as a commit iff it contains an EvCommit span, and attributes the
 	// root's exclusive time to the commit itself.
-	sc := p.obs.StartSpan(t.id.String(), obs.SpanContext{})
+	var sc obs.SpanContext
 	if p.obs.Active() {
+		sc = p.obs.StartSpan(t.id.String(), obs.SpanContext{})
 		start := time.Now()
 		defer func() {
 			d := time.Since(start)
@@ -597,7 +609,15 @@ func (t *Tx) finish(commit bool, recs []wal.Record, sc obs.SpanContext) {
 	p := t.p
 	for _, owner := range t.inner.SpreadSet() {
 		if owner == p.name {
-			_, _ = p.srvFinish(p.name, finishReq{Tx: t.id, Commit: commit})
+			_, _ = p.srvFinish(p.name, sc, finishReq{Tx: t.id, Commit: commit})
+			continue
+		}
+		if p.outbox != nil && !t.inner.Wrote(owner) {
+			// Read-only owner: the transaction shipped no log records there,
+			// so finishing is exactly a lock release — no fate to record, no
+			// commit force. A coalesced release notice replaces the finish
+			// round trip (and the spurious log force at the owner).
+			p.sendRelease(t.id, owner, sc)
 			continue
 		}
 		if _, err := p.call(owner, sc, finishReq{Tx: t.id, Commit: commit}); err != nil {

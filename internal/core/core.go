@@ -89,6 +89,24 @@ type Config struct {
 	// (the simplified algorithm of §4.3.1). For the ablation benchmark.
 	PropagateSHPage bool
 
+	// Batch enables the per-destination outbox: callback acks, release
+	// notices, and purge notices coalesce into the next message bound for
+	// the same peer (or a deadline flush when no message comes along).
+	// Off by default — the protocol's message pattern is then bit-identical
+	// to the pre-outbox system.
+	Batch bool
+	// BatchFlushDelay bounds how long a coalesced notice may wait for a
+	// message to ride; a deadline flush sends a dedicated message when it
+	// expires. Default 2ms when Batch is set.
+	BatchFlushDelay time.Duration
+	// GroupCommit absorbs concurrent WAL forces at each owner into one
+	// log-disk write (group commit). Off by default.
+	GroupCommit bool
+	// GroupCommitWindow is how long a group-commit leader waits for
+	// companion committers before forcing. Default 1ms when GroupCommit is
+	// set.
+	GroupCommitWindow time.Duration
+
 	// Faults, when non-nil, is installed on the network at NewSystem and
 	// implies the resilience defaults below. Nil (the default) leaves the
 	// fabric reliable and every resilience mechanism dormant, so fault-free
@@ -153,6 +171,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FixedTimeout == 0 {
 		c.FixedTimeout = 2 * time.Second
+	}
+	if c.Batch && c.BatchFlushDelay == 0 {
+		c.BatchFlushDelay = 2 * time.Millisecond
+	}
+	if c.GroupCommit && c.GroupCommitWindow == 0 {
+		c.GroupCommitWindow = time.Millisecond
 	}
 	if c.Faults != nil && c.RPCTimeout == 0 {
 		c.RPCTimeout = 500 * time.Millisecond

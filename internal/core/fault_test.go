@@ -104,6 +104,18 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 	if plan := faultPlanFor(kind); plan != nil {
 		opts = append(opts, func(c *Config) { c.Faults = plan })
 	}
+	// FAULT_BATCH=on runs the cell with message coalescing and WAL group
+	// commit enabled: the batching fast paths must survive the same faults
+	// as the base protocol. (Pooled frames are never recycled under a
+	// resilient config, so this also exercises that gate.)
+	if os.Getenv("FAULT_BATCH") == "on" {
+		opts = append(opts, func(c *Config) {
+			c.Batch = true
+			c.BatchFlushDelay = time.Millisecond
+			c.GroupCommit = true
+			c.GroupCommitWindow = time.Millisecond
+		})
+	}
 	// CI sets FAULT_TRACE_OUT on one cell to archive a Perfetto-loadable
 	// trace of the run as a build artifact.
 	traceOut := os.Getenv("FAULT_TRACE_OUT")

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"sync"
+	"time"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/sim"
+)
+
+// outbox is the per-destination coalescing buffer of Config.Batch: small
+// fire-and-forget notices (callback acks, release notices) wait here for
+// the next message bound for the same peer instead of each paying for a
+// message of their own. Purge notices keep their own queue (clientState's
+// purgeQ, the original piggyback mechanism) and keep their ride-only
+// semantics — they never arm the deadline, because a purge notice is pure
+// bookkeeping nobody blocks on, and deadline-flushing them would mint
+// dedicated messages the unbatched protocol never sent. They do ride any
+// flush an ack or release pays for (flushCoalesced drains both queues).
+//
+// Delivery guarantee: a queued notice leaves this peer within delay — it
+// either rides the next outgoing envelope to its destination (call or
+// flushPurges drains the queue into rpcEnvelope.Acks/Rels) or a deadline
+// flush sends the backlog as a dedicated message. Notices are applied by
+// the receiver before the carrying request is served, so coalescing never
+// reorders a notice after a request sent later on the same path.
+type outbox struct {
+	delay time.Duration
+	stats *sim.Stats
+	flush func(dest string) // sends the backlog as a dedicated message
+
+	mu     sync.Mutex
+	byDest map[string]*outQueue
+}
+
+// outQueue is the pending backlog for one destination.
+type outQueue struct {
+	acks []callbackAck
+	rels []lock.TxID
+	// armed marks a pending deadline timer. A timer that fires after a
+	// ride-along already drained the queue flushes nothing (flushCoalesced
+	// is a no-op on an empty backlog); that is cheaper than timer-stop
+	// bookkeeping and only ever flushes early, never late.
+	armed bool
+}
+
+func newOutbox(delay time.Duration, stats *sim.Stats, flush func(string)) *outbox {
+	return &outbox{
+		delay:  delay,
+		stats:  stats,
+		flush:  flush,
+		byDest: make(map[string]*outQueue),
+	}
+}
+
+// queueFor returns (creating if needed) dest's backlog. Caller holds mu.
+func (ob *outbox) queueFor(dest string) *outQueue {
+	q := ob.byDest[dest]
+	if q == nil {
+		q = &outQueue{}
+		ob.byDest[dest] = q
+	}
+	return q
+}
+
+// armLocked schedules the deadline flush for dest. Caller holds mu.
+func (ob *outbox) armLocked(dest string, q *outQueue) {
+	if q.armed || ob.delay <= 0 {
+		return
+	}
+	q.armed = true
+	time.AfterFunc(ob.delay, func() {
+		ob.mu.Lock()
+		if q := ob.byDest[dest]; q != nil {
+			q.armed = false
+		}
+		ob.mu.Unlock()
+		ob.flush(dest)
+	})
+}
+
+// addAck queues a callback ack for dest.
+func (ob *outbox) addAck(dest string, ack callbackAck) {
+	ob.mu.Lock()
+	q := ob.queueFor(dest)
+	q.acks = append(q.acks, ack)
+	ob.armLocked(dest, q)
+	ob.mu.Unlock()
+}
+
+// addRelease queues a release notice for dest.
+func (ob *outbox) addRelease(dest string, txid lock.TxID) {
+	ob.mu.Lock()
+	q := ob.queueFor(dest)
+	q.rels = append(q.rels, txid)
+	ob.armLocked(dest, q)
+	ob.mu.Unlock()
+}
+
+// take detaches dest's backlog for an outgoing message. A still-pending
+// deadline timer is left to fire and find nothing.
+func (ob *outbox) take(dest string) (acks []callbackAck, rels []lock.TxID) {
+	ob.mu.Lock()
+	if q := ob.byDest[dest]; q != nil {
+		acks, rels = q.acks, q.rels
+		q.acks, q.rels = nil, nil
+	}
+	ob.mu.Unlock()
+	return acks, rels
+}

@@ -18,6 +18,7 @@ import (
 	"strconv"
 	"strings"
 	"testing"
+	"time"
 
 	"adaptivecc/internal/sim"
 )
@@ -56,9 +57,9 @@ var parityCounters = []string{
 // concurrent transactions touch different objects and therefore never
 // block under any object-granularity protocol (the section is skipped for
 // PS, whose page-grain locks would serialize it).
-func runParityScript(t *testing.T, proto Protocol) map[string]int64 {
+func runParityScript(t *testing.T, proto Protocol, opts ...func(*Config)) map[string]int64 {
 	t.Helper()
-	tc := newCluster(t, proto, 2, 12)
+	tc := newCluster(t, proto, 2, 12, opts...)
 	a, b := tc.clients[0], tc.clients[1]
 
 	// Cold read of two objects on one page.
@@ -241,5 +242,56 @@ func TestProtocolFingerprintParity(t *testing.T) {
 			t.Errorf("protocols %s and %s share a fingerprint; script no longer discriminates", other, proto)
 		}
 		seen[key] = proto.String()
+	}
+}
+
+// semanticParityCounters are the counters batching may never change: what
+// the protocol decided (commits, aborts, data touched, records shipped,
+// pages moved). The transport-shape counters (messages, disk writes, lock
+// waits) are deliberately excluded — changing those is batching's job.
+var semanticParityCounters = []string{
+	sim.CtrCommits,
+	sim.CtrAborts,
+	sim.CtrObjectReads,
+	sim.CtrObjectWrites,
+	sim.CtrLocalHits,
+	sim.CtrLogRecords,
+	sim.CtrPageTransfers,
+}
+
+// TestBatchingSemanticParity runs the reference script with message
+// coalescing and WAL group commit switched on and compares it against the
+// default run. The batched run must make the exact same protocol
+// decisions (semantic counters identical) with no more messages than the
+// unbatched one: coalescing replaces dedicated ack/release messages with
+// ride-alongs and deadline flushes, so the message count can only fall.
+// Together with TestProtocolFingerprintParity — which pins the DEFAULT
+// configuration, batching and all, to the pre-batching goldens — this
+// proves the optimization is off by default and semantically inert when
+// on.
+func TestBatchingSemanticParity(t *testing.T) {
+	batchCfg := func(c *Config) {
+		c.Batch = true
+		c.BatchFlushDelay = time.Millisecond
+		c.GroupCommit = true
+		c.GroupCommitWindow = time.Millisecond
+	}
+	for _, proto := range []Protocol{PSOA, PSAA} {
+		proto := proto
+		t.Run(proto.String(), func(t *testing.T) {
+			base := runParityScript(t, proto)
+			batched := runParityScript(t, proto, batchCfg)
+			for _, c := range semanticParityCounters {
+				if batched[c] != base[c] {
+					t.Errorf("counter %s = %d batched, %d unbatched", c, batched[c], base[c])
+				}
+			}
+			if batched[sim.CtrMessages] > base[sim.CtrMessages] {
+				t.Errorf("batching grew the message count: %d batched > %d unbatched",
+					batched[sim.CtrMessages], base[sim.CtrMessages])
+			}
+			t.Logf("%s: %d -> %d messages with coalescing on",
+				proto, base[sim.CtrMessages], batched[sim.CtrMessages])
+		})
 	}
 }

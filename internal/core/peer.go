@@ -45,9 +45,14 @@ type Peer struct {
 	cs *clientState
 	ct *copyTable
 
+	// outbox coalesces small fire-and-forget notices per destination; nil
+	// unless Config.Batch.
+	outbox *outbox
+
 	mu         sync.Mutex
 	nextReq    uint64
 	pendingRPC map[uint64]chan rpcReply
+	replyChans []chan rpcReply // free list for call()'s reply channels
 	nextOp     uint64
 	cbOps      map[uint64]*cbOp
 	pendingCB  map[storage.ItemID]lock.TxID // object -> calling-back tx
@@ -148,6 +153,9 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 		p.obs = s.obsSet.NewRegistry(name)
 		p.locks.SetObs(p.obs)
 	}
+	if cfg.Batch {
+		p.outbox = newOutbox(cfg.BatchFlushDelay, s.stats, p.flushCoalesced)
+	}
 	if cfg.resilient() {
 		p.reqSeen = make(map[dedupKey]*rpcReply)
 		p.reqRing = make([]dedupKey, reqSeenRingSize)
@@ -160,6 +168,9 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 	if len(vols) > 0 {
 		logDisk := storage.NewDisk("logdisk-"+name, cfg.Costs, s.stats)
 		p.slog = wal.NewStableLog(logDisk)
+		if cfg.GroupCommit {
+			p.slog.EnableGroupCommit(cfg.GroupCommitWindow, s.stats)
+		}
 	}
 	return p
 }
@@ -221,7 +232,7 @@ func (p *Peer) waitTimeout() time.Duration {
 func (p *Peer) handle(m transport.Message) {
 	switch m.Kind {
 	case kindRequest:
-		env, ok := m.Payload.(rpcEnvelope)
+		env, ok := m.Payload.(*rpcEnvelope)
 		if !ok {
 			return
 		}
@@ -236,12 +247,13 @@ func (p *Peer) handle(m transport.Message) {
 				if cached != nil && cached != noReply {
 					_ = p.sys.net.Send(transport.Message{
 						From: p.name, To: env.From, Kind: kindReply,
-						CarriesPage: replyCarriesPage(cached.Body), Payload: *cached,
+						CarriesPage: replyCarriesPage(cached.Body), Payload: cached,
 					}, transport.AnyPath)
 				}
 				return
 			}
 		}
+		p.applyCoalesced(env)
 		p.processPiggyback(env.From, env.Pig)
 		p.cpu.Use(p.cfg.Costs.LockCPU)
 		// The serve span joins this site's lane to the sender's RPC span.
@@ -258,19 +270,25 @@ func (p *Peer) handle(m transport.Message) {
 			}
 			p.obs.EmitSpan(obs.EvServe, ssc, "", time.Since(serveStart), env.From, note)
 		}
+		from := env.From
+		id := env.ReqID
+		if !p.cfg.resilient() {
+			putEnvelope(env)
+		}
 		code, detail := encodeErr(err)
-		reply := rpcReply{ReqID: env.ReqID, Code: code, Detail: detail, Body: body}
+		reply := getReply()
+		*reply = rpcReply{ReqID: id, Code: code, Detail: detail, Body: body}
 		if dedup {
-			p.dedupComplete(env.From, env.ReqID, &reply)
+			p.dedupComplete(from, id, reply)
 		}
 		carries := replyCarriesPage(body)
 		_ = p.sys.net.Send(transport.Message{
-			From: p.name, To: env.From, Kind: kindReply,
+			From: p.name, To: from, Kind: kindReply,
 			CarriesPage: carries, Payload: reply,
 		}, transport.AnyPath)
 
 	case kindReply:
-		reply, ok := m.Payload.(rpcReply)
+		reply, ok := m.Payload.(*rpcReply)
 		if !ok {
 			return
 		}
@@ -279,21 +297,31 @@ func (p *Peer) handle(m transport.Message) {
 		delete(p.pendingRPC, reply.ReqID)
 		p.mu.Unlock()
 		if ch != nil {
-			ch <- reply
+			ch <- *reply
+		}
+		if !p.cfg.resilient() {
+			putReply(reply)
 		}
 
 	case kindCallback:
-		req, ok := m.Payload.(callbackReq)
+		req, ok := m.Payload.(*callbackReq)
 		if !ok {
 			return
 		}
-		if p.cfg.resilient() && p.cbDedup(req.Server, req.OpID) {
+		// Copy the frame and recycle it before handling: the callback may
+		// block on a local lock conflict for a long time, and the pooled
+		// frame should not be held hostage meanwhile.
+		rq := *req
+		if !p.cfg.resilient() {
+			putCbReq(req)
+		}
+		if p.cfg.resilient() && p.cbDedup(rq.Server, rq.OpID) {
 			// Duplicate callback delivery: the first copy will (or already
 			// did) answer; a second ack would corrupt the round's count.
 			p.stats.Inc(sim.CtrDupSuppressed)
 			return
 		}
-		p.handleCallback(req)
+		p.handleCallback(rq)
 
 	case kindCallbackAck:
 		ack, ok := m.Payload.(callbackAck)
@@ -311,7 +339,7 @@ func (p *Peer) handle(m transport.Message) {
 		p.routeCallbackEvent(bl.OpID, cbEvent{blocked: &bl})
 
 	case kindPurgeFlush:
-		env, ok := m.Payload.(rpcEnvelope)
+		env, ok := m.Payload.(*rpcEnvelope)
 		if !ok {
 			return
 		}
@@ -324,10 +352,29 @@ func (p *Peer) handle(m transport.Message) {
 				return
 			}
 		}
+		p.applyCoalesced(env)
 		p.processPiggyback(env.From, env.Pig)
 		if dedup {
 			p.dedupComplete(env.From, env.ReqID, noReply)
 		}
+		if !p.cfg.resilient() {
+			putEnvelope(env)
+		}
+	}
+}
+
+// applyCoalesced applies the outbox notices riding an envelope, before its
+// body (if any) is served: callback acks are routed to their operations and
+// release notices drop finished transactions' replicated locks, exactly as
+// their dedicated messages would have.
+func (p *Peer) applyCoalesced(env *rpcEnvelope) {
+	for i := range env.Acks {
+		a := env.Acks[i]
+		p.routeCallbackEvent(a.OpID, cbEvent{ack: &a})
+	}
+	for _, txid := range env.Rels {
+		p.markFinished(txid)
+		p.locks.ReleaseAll(txid)
 	}
 }
 
@@ -355,10 +402,10 @@ func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 	if dest == p.name {
 		return nil, fmt.Errorf("core: self-call at %s", p.name)
 	}
-	ch := make(chan rpcReply, 1)
 	p.mu.Lock()
 	p.nextReq++
 	id := p.nextReq
+	ch := p.takeReplyChanLocked()
 	p.pendingRPC[id] = ch
 	p.mu.Unlock()
 	cancel := func() {
@@ -367,9 +414,20 @@ func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 		p.mu.Unlock()
 	}
 
-	rsc := p.obs.StartSpan("", sc)
-	env := rpcEnvelope{ReqID: id, From: p.name, Span: rsc, Pig: p.cs.takePurges(dest), Body: body}
-	msg := transport.Message{From: p.name, To: dest, Kind: kindRequest, Payload: env}
+	var rsc obs.SpanContext
+	if p.obs.Active() {
+		rsc = p.obs.StartSpan("", sc)
+	}
+	env := getEnvelope()
+	*env = rpcEnvelope{ReqID: id, From: p.name, Span: rsc, Pig: p.cs.takePurges(dest), Body: body}
+	batch := 0
+	if p.outbox != nil {
+		env.Acks, env.Rels = p.outbox.take(dest)
+		if batch = len(env.Acks) + len(env.Rels); batch > 0 {
+			p.stats.Add(sim.CtrOutboxCarried, int64(batch))
+		}
+	}
+	msg := transport.Message{From: p.name, To: dest, Kind: kindRequest, BatchItems: batch, Payload: env}
 	var rpcStart time.Time
 	if p.obs.Active() {
 		rpcStart = time.Now()
@@ -381,6 +439,7 @@ func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 
 	if !p.cfg.resilient() {
 		reply := <-ch
+		p.recycleReplyChan(ch)
 		if p.obs.Active() {
 			d := time.Since(rpcStart)
 			p.obs.Observe(obs.HistRPC, d)
@@ -396,6 +455,7 @@ func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 	for attempt := 0; ; attempt++ {
 		select {
 		case reply := <-ch:
+			p.recycleReplyChan(ch)
 			if p.obs.Active() {
 				d := time.Since(rpcStart)
 				p.obs.Observe(obs.HistRPC, d)
@@ -435,7 +495,12 @@ func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 
 // flushPurges sends queued purge notices to owner immediately (used when a
 // notice carries early log records that the owner should redo promptly).
+// With batching enabled the flush also drains the outbox for that owner.
 func (p *Peer) flushPurges(owner string) {
+	if p.outbox != nil {
+		p.flushCoalesced(owner)
+		return
+	}
 	pig := p.cs.takePurges(owner)
 	if len(pig) == 0 {
 		return
@@ -443,17 +508,49 @@ func (p *Peer) flushPurges(owner string) {
 	// Under resilience the flush carries a real ReqID so a duplicated
 	// delivery is suppressed by the owner's dedup table (re-applying a
 	// notice would double-count installs and re-redo log records).
-	var id uint64
-	if p.cfg.resilient() {
-		p.mu.Lock()
-		p.nextReq++
-		id = p.nextReq
-		p.mu.Unlock()
-	}
+	id := p.flushReqID()
+	env := getEnvelope()
+	*env = rpcEnvelope{ReqID: id, From: p.name, Pig: pig}
 	_ = p.sys.net.Send(transport.Message{
 		From: p.name, To: owner, Kind: kindPurgeFlush,
-		Payload: rpcEnvelope{ReqID: id, From: p.name, Pig: pig},
+		Payload: env,
 	}, transport.AnyPath)
+}
+
+// flushReqID allocates a dedup ReqID for a fire-and-forget flush, or zero
+// when the fabric is reliable and dedup is off.
+func (p *Peer) flushReqID() uint64 {
+	if !p.cfg.resilient() {
+		return 0
+	}
+	p.mu.Lock()
+	p.nextReq++
+	id := p.nextReq
+	p.mu.Unlock()
+	return id
+}
+
+// flushCoalesced drains the outbox backlog and purge queue for dest and
+// sends it as one dedicated message: the deadline flush for notices no
+// ride-along came along for, and the early-record purge flush under
+// batching. Fire-and-forget: when the send fails (dest crashed, fabric
+// closed) the notices are dropped, exactly as their dedicated sends would
+// have been — crash reclamation covers the rest.
+func (p *Peer) flushCoalesced(dest string) {
+	acks, rels := p.outbox.take(dest)
+	pig := p.cs.takePurges(dest)
+	if len(acks) == 0 && len(rels) == 0 && len(pig) == 0 {
+		return
+	}
+	env := getEnvelope()
+	*env = rpcEnvelope{ReqID: p.flushReqID(), From: p.name, Pig: pig, Acks: acks, Rels: rels}
+	err := p.sys.net.Send(transport.Message{
+		From: p.name, To: dest, Kind: kindPurgeFlush,
+		BatchItems: len(acks) + len(rels), Payload: env,
+	}, transport.AnyPath)
+	if err == nil {
+		p.stats.Inc(sim.CtrOutboxFlushes)
+	}
 }
 
 // processPiggyback applies purge notices received from a client: drop the
@@ -543,8 +640,14 @@ func (p *Peer) takeReplicated(txid lock.TxID) []string {
 	return out
 }
 
-// sendRelease asks owner to drop txid's locks (fire-and-forget RPC).
+// sendRelease asks owner to drop txid's locks — a fire-and-forget RPC, or
+// a coalesced release notice when batching is on.
 func (p *Peer) sendRelease(txid lock.TxID, owner string, sc obs.SpanContext) {
+	if p.outbox != nil {
+		p.stats.Inc(sim.CtrOutboxReleases)
+		p.outbox.addRelease(owner, txid)
+		return
+	}
 	_, _ = p.call(owner, sc, releaseReq{Tx: txid})
 }
 

@@ -30,7 +30,7 @@ func (p *Peer) serveRequest(from string, sc obs.SpanContext, body any) (any, err
 	case prepareReq:
 		return p.srvPrepare(sc, rq)
 	case finishReq:
-		return p.srvFinish(from, rq)
+		return p.srvFinish(from, sc, rq)
 	case releaseReq:
 		return p.srvRelease(rq)
 	case deescReq:
@@ -204,11 +204,18 @@ func (p *Peer) srvPrepare(sc obs.SpanContext, rq prepareReq) (any, error) {
 }
 
 // srvFinish is 2PC phase two (commit) or an abort at an owner.
-func (p *Peer) srvFinish(from string, rq finishReq) (any, error) {
+func (p *Peer) srvFinish(from string, sc obs.SpanContext, rq finishReq) (any, error) {
 	p.markFinished(rq.Tx)
 	if rq.Commit {
 		if p.slog != nil {
-			p.slog.Commit(rq.Tx)
+			var start time.Time
+			if p.obs.Active() {
+				start = time.Now()
+			}
+			fi := p.slog.CommitForce(rq.Tx)
+			if p.cfg.GroupCommit && p.obs.Active() {
+				p.emitGroupCommit(sc, rq.Tx.String(), time.Since(start), fi, "commit force")
+			}
 		}
 	} else if p.slog != nil {
 		for _, rec := range p.slog.Abort(rq.Tx) {
@@ -402,7 +409,7 @@ func (p *Peer) appendAndRedo(recs []wal.Record, sc obs.SpanContext) {
 	if p.obs.Active() {
 		ioStart = time.Now()
 	}
-	p.slog.Append(recs)
+	_, fi := p.slog.AppendForce(recs)
 	if p.obs.Active() {
 		d := time.Since(ioStart)
 		p.obs.Observe(obs.HistDiskIO, d)
@@ -410,12 +417,41 @@ func (p *Peer) appendAndRedo(recs []wal.Record, sc obs.SpanContext) {
 		if wsc.Trace == "" {
 			wsc.Trace = recs[0].Tx.String()
 		}
-		p.obs.EmitSpan(obs.EvWALAppend, wsc, recs[0].Object.String(), d, "",
-			fmt.Sprintf("%d records forced", len(recs)))
+		if p.cfg.GroupCommit {
+			// With group commit on, the force is traced as the shared
+			// group-commit leaf (same WAL phase bucket) instead of a plain
+			// WAL append: the cohort note identifies the batched committers
+			// that shared the disk write.
+			p.emitGroupCommitCtx(wsc, d, fi, fmt.Sprintf("%d records forced", len(recs)))
+		} else {
+			p.obs.EmitSpan(obs.EvWALAppend, wsc, recs[0].Object.String(), d, "",
+				fmt.Sprintf("%d records forced", len(recs)))
+		}
 	}
 	for _, r := range recs {
 		p.installBytes(r.Object, r.After, true, sc)
 	}
+}
+
+// emitGroupCommit traces one group-commit force as a leaf under sc,
+// falling back to tx for the trace identity when the caller has no span.
+func (p *Peer) emitGroupCommit(sc obs.SpanContext, tx string, d time.Duration, fi wal.ForceInfo, what string) {
+	wsc := sc.Under()
+	if wsc.Trace == "" {
+		wsc.Trace = tx
+	}
+	p.emitGroupCommitCtx(wsc, d, fi, what)
+}
+
+// emitGroupCommitCtx emits the group-commit leaf span: one per batched
+// committer, all naming the shared disk write through the cohort note.
+func (p *Peer) emitGroupCommitCtx(wsc obs.SpanContext, d time.Duration, fi wal.ForceInfo, what string) {
+	role := "joined"
+	if fi.Led {
+		role = "led"
+	}
+	p.obs.EmitSpan(obs.EvGroupCommit, wsc, "", d, "",
+		fmt.Sprintf("%s: %s cohort of %d", what, role, fi.Cohort))
 }
 
 // undoOne applies a record's before-image during abort processing.

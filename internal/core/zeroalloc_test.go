@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"adaptivecc/internal/lock"
+)
+
+// Zero-allocation guards for the message-framing machinery behind the
+// envelope send path (DESIGN.md §12). A full end-to-end send crosses
+// goroutines (transport path, receiver, disk), so testing.AllocsPerRun —
+// which counts mallocs from every goroutine — cannot pin it directly;
+// these tests pin the sender-side building blocks the pooling work
+// de-allocated: the frame pools and the per-peer reply-channel free list.
+// The end-to-end numbers are watched by the -benchmem benchmarks and the
+// benchdiff allocs/op gate.
+
+// TestFramePoolsZeroAlloc cycles each pooled frame type through a
+// get/populate/put round. Steady state must not allocate: that is the
+// whole point of the pools. The assertion tolerates a fraction of an
+// alloc per run because a GC landing mid-loop clears sync.Pools and
+// forces a one-off refill.
+func TestFramePoolsZeroAlloc(t *testing.T) {
+	// Warm each pool so the first Get inside the measured loop hits it.
+	putEnvelope(getEnvelope())
+	putReply(getReply())
+	putCbReq(getCbReq())
+
+	n := testing.AllocsPerRun(200, func() {
+		env := getEnvelope()
+		env.ReqID = 7
+		env.From = "c1"
+		putEnvelope(env)
+
+		rep := getReply()
+		rep.ReqID = 7
+		putReply(rep)
+
+		req := getCbReq()
+		req.OpID = 7
+		req.Tx = lock.TxID{Site: "c1", Seq: 1}
+		putCbReq(req)
+	})
+	if n > 0.5 {
+		t.Errorf("pooled frame cycle allocates %.2f allocs/op, want ~0", n)
+	}
+}
+
+// TestReplyChanReuseZeroAlloc pins the reply-channel free list: after the
+// first call has populated it, take/recycle must reuse the same channel
+// without making a new one.
+func TestReplyChanReuseZeroAlloc(t *testing.T) {
+	p := &Peer{}
+	p.mu.Lock()
+	ch := p.takeReplyChanLocked() // first take allocates the channel
+	p.mu.Unlock()
+	p.recycleReplyChan(ch)
+
+	n := testing.AllocsPerRun(200, func() {
+		p.mu.Lock()
+		ch := p.takeReplyChanLocked()
+		p.mu.Unlock()
+		p.recycleReplyChan(ch)
+	})
+	if n != 0 {
+		t.Errorf("reply-channel take/recycle allocates %.2f allocs/op, want 0", n)
+	}
+}

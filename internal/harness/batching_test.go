@@ -1,0 +1,79 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"adaptivecc/internal/core"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/workload"
+)
+
+// TestCoalescingMessageReduction pins the payoff the batching work claims
+// on the Figure 6 configuration at its most write-heavy point (HOTCOLD,
+// client-server, Table 1 platform, w=0.5): turning on message coalescing
+// must cut the consistency-maintenance message traffic — callback
+// requests, callback acks, and dedicated flushes, the messages coalescing
+// targets — by at least 20% per commit. Unbatched, every callback is
+// answered by a dedicated ack message; batched, acks ride the client's
+// next request to the server or share a deadline flush. The synchronous
+// read/write RPC stream is excluded: request/reply pairs cannot coalesce
+// (the caller blocks on the reply), so counting them would only dilute
+// the measurement with traffic the optimization, by design, leaves
+// untouched. Both metrics are ratios of counters over one window, stable
+// against machine speed in a way raw throughput is not.
+func TestCoalescingMessageReduction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second measurement windows")
+	}
+	exp := Experiment{
+		Workload:  workload.HotCold,
+		WriteProb: 0.5,
+		Protocol:  core.PSAA,
+		Mode:      ClientServer,
+		Warmup:    300 * time.Millisecond,
+		Measure:   1500 * time.Millisecond,
+	}
+	plat := DefaultPlatform()
+	plat.TimeScale = 0.02
+
+	base, err := Run(exp, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plat.Batch = true
+	batched, err := Run(exp, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Commits == 0 || batched.Commits == 0 {
+		t.Fatalf("no commits: base %d, batched %d", base.Commits, batched.Commits)
+	}
+	carried := batched.Counters[sim.CtrOutboxCarried]
+	if carried == 0 {
+		t.Error("coalescing on but no ack/release ever rode another message")
+	}
+
+	// Unbatched: one callback request plus one dedicated ack message per
+	// callback. Batched: the ack messages are replaced by the flushes
+	// (ride-alongs cost nothing extra).
+	basePer := 2 * float64(base.Counters[sim.CtrCallbacks]) / float64(base.Commits)
+	batchedPer := float64(batched.Counters[sim.CtrCallbacks]+batched.Counters[sim.CtrOutboxFlushes]) /
+		float64(batched.Commits)
+	reduction := 1 - batchedPer/basePer
+	t.Logf("consistency messages/commit: %.1f unbatched -> %.1f batched (%.0f%% reduction; %d acks rode, %d flushes)",
+		basePer, batchedPer, reduction*100, carried, batched.Counters[sim.CtrOutboxFlushes])
+	t.Logf("total messages/commit: %.1f unbatched -> %.1f batched",
+		base.MessagesPerCommit, batched.MessagesPerCommit)
+	if reduction < 0.20 {
+		t.Errorf("coalescing cut consistency messages/commit by only %.0f%%, want >= 20%%", reduction*100)
+	}
+	// Total traffic must not balloon. The two runs are different
+	// simulations (different commit mixes in their windows), so the total
+	// wobbles a few percent either way; the guard is against a flush
+	// deadline gone pathological, not against noise.
+	if batched.MessagesPerCommit > 1.10*base.MessagesPerCommit {
+		t.Errorf("batching grew total messages/commit by >10%%: %.1f vs %.1f",
+			batched.MessagesPerCommit, base.MessagesPerCommit)
+	}
+}

@@ -66,6 +66,14 @@ type Platform struct {
 	// cluster and reports its verdict in Result.AuditViolations. Implies
 	// Observe.
 	Audit bool
+	// Batch enables per-destination message coalescing (callback acks,
+	// lock-release notices, and purge piggybacks ride the next message on
+	// the same path). Off by default: figure outputs stay bit-identical to
+	// the unbatched protocol.
+	Batch bool
+	// GroupCommit absorbs concurrent log forces at each owner into shared
+	// disk writes within a bounded wait window. Off by default.
+	GroupCommit bool
 }
 
 // observing reports whether any consumer needs the event pipeline on.
@@ -182,6 +190,19 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 		PropagateSHPage: exp.PropagateSHPage,
 		Faults:          exp.Faults,
 		Obs:             obs.Config{Enabled: plat.observing()},
+		Batch:           plat.Batch,
+		GroupCommit:     plat.GroupCommit,
+	}
+	// The coalescing flush deadline and group-commit window are paper-time
+	// quantities: 2ms and 1ms at paper speed (2x and 1x the network message
+	// cost), scaled like every other cost so batching absorbs the same
+	// amount of traffic at any TimeScale. Left at the core defaults they
+	// would dwarf a scaled-down run's message costs and throttle it.
+	if plat.Batch {
+		cfg.BatchFlushDelay = scaledWindow(2*time.Millisecond, plat.TimeScale)
+	}
+	if plat.GroupCommit {
+		cfg.GroupCommitWindow = scaledWindow(time.Millisecond, plat.TimeScale)
 	}
 	var aud *audit.Auditor
 	if plat.Audit {
@@ -267,6 +288,17 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 	default:
 		return nil, fmt.Errorf("harness: unknown mode %v", exp.Mode)
 	}
+}
+
+// scaledWindow converts a paper-time batching window to wall clock at the
+// given TimeScale, floored at 50µs so a very fast run still batches
+// instead of degenerating into per-item timer churn.
+func scaledWindow(paper time.Duration, timeScale float64) time.Duration {
+	w := time.Duration(float64(paper) * timeScale)
+	if w < 150*time.Microsecond {
+		w = 150 * time.Microsecond
+	}
+	return w
 }
 
 // extent assigns a run of global pages to a peer.

@@ -48,6 +48,7 @@ func populateResident(b *testing.B, m *lock.Manager, pages uint32, slotsPerPage 
 // BenchmarkUncontendedGrantRelease is the fast path: one transaction locks
 // an object EX (taking the three ancestor intents) and releases everything.
 func BenchmarkUncontendedGrantRelease(b *testing.B) {
+	b.ReportAllocs()
 	m := lock.NewManager(nil, nil)
 	tx := lock.TxID{Site: "bench", Seq: 1}
 	o := benchObj(7, 3)
@@ -73,6 +74,7 @@ func benchmarkMixed(b *testing.B, workers int, reg *obs.Registry) {
 		hotPages      = 512
 		hotSlots      = 16
 	)
+	b.ReportAllocs()
 	m := lock.NewManager(nil, nil)
 	if reg != nil {
 		m.SetObs(reg)
@@ -156,6 +158,7 @@ func TestObsDisabledOverhead(t *testing.T) {
 // 100 000-lock table (5 000 pages × 20 objects): the cost must track the
 // locks under the queried page, not the table size.
 func BenchmarkLocksWithinTable100k(b *testing.B) {
+	b.ReportAllocs()
 	const pages, slots = 5000, 20
 	m := lock.NewManager(nil, nil)
 	populateResident(b, m, pages, slots)
@@ -171,6 +174,7 @@ func BenchmarkLocksWithinTable100k(b *testing.B) {
 // BenchmarkLocksWithinTable2k is the same scan against a 2 000-lock table;
 // comparing it with the 100k variant exposes any O(table) scaling.
 func BenchmarkLocksWithinTable2k(b *testing.B) {
+	b.ReportAllocs()
 	const pages, slots = 100, 20
 	m := lock.NewManager(nil, nil)
 	populateResident(b, m, pages, slots)
@@ -183,15 +187,20 @@ func BenchmarkLocksWithinTable2k(b *testing.B) {
 	}
 }
 
-// BenchmarkConflictingOnHotPage measures the Conflicting list used by
-// callback-blocked replies while a resident table is standing.
+// BenchmarkConflictingOnHotPage measures the conflict probe used by
+// callback-blocked replies while a resident table is standing. It reuses
+// one result buffer across probes via ConflictingInto, the way the
+// protocol hot path does, so the steady state is allocation-free.
 func BenchmarkConflictingOnHotPage(b *testing.B) {
+	b.ReportAllocs()
 	m := lock.NewManager(nil, nil)
 	populateResident(b, m, 200, 10)
 	o := benchObj(3, 1)
+	buf := make([]lock.TxID, 0, 8)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if got := m.Conflicting(o, lock.EX, lock.TxID{Site: "x", Seq: 1}); len(got) != 1 {
+		got := m.ConflictingInto(o, lock.EX, lock.TxID{Site: "x", Seq: 1}, buf[:0])
+		if len(got) != 1 {
 			b.Fatalf("Conflicting = %v", got)
 		}
 	}

@@ -3,6 +3,7 @@ package lock
 import (
 	"errors"
 	"fmt"
+	"strconv"
 	"time"
 
 	"sync"
@@ -20,7 +21,7 @@ type TxID struct {
 }
 
 // String renders "site:seq".
-func (t TxID) String() string { return fmt.Sprintf("%s:%d", t.Site, t.Seq) }
+func (t TxID) String() string { return t.Site + ":" + strconv.FormatUint(t.Seq, 10) }
 
 // Zero reports whether the ID is the zero value.
 func (t TxID) Zero() bool { return t == TxID{} }
@@ -146,7 +147,8 @@ func (m *Manager) Lock(tx TxID, item storage.ItemID, mode Mode, opt Options) err
 	}
 	if !opt.SkipAncestors {
 		intent := IntentionFor(mode)
-		for _, anc := range item.Ancestors() {
+		chain, n := item.AncestorChain()
+		for _, anc := range chain[:n] {
 			if err := m.lockOne(tx, anc, intent, opt); err != nil {
 				return err
 			}
@@ -219,12 +221,15 @@ func (m *Manager) lockOne(tx TxID, item storage.ItemID, mode Mode, opt Options) 
 
 	m.stats.Inc(sim.CtrLockWaits)
 	// The wait's trace events are leaves under the caller's span; a caller
-	// without a context still gets events tied to the transaction.
-	wsc := opt.Span.Under()
-	if wsc.Trace == "" {
-		wsc.Trace = tx.String()
-	}
+	// without a context still gets events tied to the transaction. The span
+	// context (and its trace-name string) is only built when observability
+	// is on: the obs-off wait path must not allocate.
+	var wsc obs.SpanContext
 	if m.obs.Active() {
+		wsc = opt.Span.Under()
+		if wsc.Trace == "" {
+			wsc.Trace = tx.String()
+		}
 		m.obs.EmitSpan(obs.EvLockBlock, wsc, item.String(), 0, "", mode.String())
 	}
 	start := time.Now()
@@ -306,7 +311,7 @@ func grantableLocked(h *head, tx TxID, mode Mode, convert bool) bool {
 func (m *Manager) installLocked(s *shard, h *head, tx TxID, mode Mode) {
 	g := h.granted[tx]
 	if g == nil {
-		g = &grantEntry{tx: tx}
+		g = s.newGrantLocked(tx)
 		h.granted[tx] = g
 		m.indexLocked(s, tx, h.id, g)
 	}
@@ -375,11 +380,13 @@ func (m *Manager) Unlock(tx TxID, item storage.ItemID) {
 	if !ok {
 		return
 	}
-	if _, held := h.granted[tx]; !held {
+	g, held := h.granted[tx]
+	if !held {
 		return
 	}
 	delete(h.granted, tx)
 	m.unindexLocked(s, tx, item)
+	s.freeGrantLocked(g)
 	m.processQueueLocked(s, h)
 }
 
@@ -403,6 +410,7 @@ func (m *Manager) Downgrade(tx TxID, item storage.ItemID, to Mode) error {
 	if to == NL {
 		delete(h.granted, tx)
 		m.unindexLocked(s, tx, item)
+		s.freeGrantLocked(g)
 	} else {
 		g.mode = to
 	}
@@ -439,16 +447,26 @@ func (m *Manager) ReleaseAll(tx TxID) {
 		mask &^= 1 << i
 		s := &m.shards[i]
 		s.mu.Lock()
-		set := s.byTx[tx]
-		items := make([]storage.ItemID, 0, len(set))
-		for id := range set {
-			items = append(items, id)
+		set, ok := s.byTx[tx]
+		if !ok {
+			s.mu.Unlock()
+			continue
 		}
-		for _, id := range items {
+		// Detach the index set up front (instead of snapshotting its keys
+		// into a fresh slice) so the release path does not allocate. Queue
+		// processing below may re-index a grant for this same transaction —
+		// into a fresh set — exactly as it could under the old snapshot.
+		delete(s.byTx, tx)
+		m.dropTxShard(tx, s)
+		for id, g := range set {
 			h := s.items[id]
 			delete(h.granted, tx)
-			m.unindexLocked(s, tx, id)
+			delete(set, id)
+			s.freeGrantLocked(g)
 			m.processQueueLocked(s, h)
+		}
+		if len(s.setPool) < poolCap {
+			s.setPool = append(s.setPool, set)
 		}
 		s.mu.Unlock()
 	}
@@ -507,14 +525,21 @@ func (m *Manager) Holders(item storage.ItemID) []Holder {
 // are incompatible with mode. The callback machinery sends this list in
 // "callback-blocked" replies.
 func (m *Manager) Conflicting(item storage.ItemID, mode Mode, tx TxID) []TxID {
+	return m.ConflictingInto(item, mode, tx, nil)
+}
+
+// ConflictingInto is Conflicting with a caller-supplied result buffer:
+// conflicting transactions are appended to out (which may be nil) and the
+// extended slice returned. Hot callers that probe conflicts per operation
+// reuse one buffer across calls and stay allocation-free.
+func (m *Manager) ConflictingInto(item storage.ItemID, mode Mode, tx TxID, out []TxID) []TxID {
 	s := m.shardOf(item)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	h, ok := s.items[item]
 	if !ok {
-		return nil
+		return out
 	}
-	var out []TxID
 	for other, g := range h.granted {
 		if other != tx && !Compatible(g.mode, mode) {
 			out = append(out, other)

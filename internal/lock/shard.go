@@ -30,12 +30,13 @@ type shard struct {
 	// hash to this shard. File- and volume-level heads are not indexed.
 	desc map[storage.ItemID]map[storage.ItemID]*head
 
-	// Free lists: heads and emptied index maps are recycled instead of
-	// reallocated, since the grant/release fast path creates and destroys a
-	// handful of them per transaction step.
-	headPool []*head
-	setPool  []map[storage.ItemID]*grantEntry
-	descPool []map[storage.ItemID]*head
+	// Free lists: heads, grant entries, and emptied index maps are recycled
+	// instead of reallocated, since the grant/release fast path creates and
+	// destroys a handful of them per transaction step.
+	headPool  []*head
+	grantPool []*grantEntry
+	setPool   []map[storage.ItemID]*grantEntry
+	descPool  []map[storage.ItemID]*head
 }
 
 // poolCap bounds each per-shard free list.
@@ -88,6 +89,28 @@ func (s *shard) headOfLocked(id storage.ItemID) *head {
 		}
 	}
 	return h
+}
+
+// newGrantLocked returns a zeroed grant entry for tx, recycling from the
+// shard free list. Caller holds s.mu.
+func (s *shard) newGrantLocked(tx TxID) *grantEntry {
+	if n := len(s.grantPool); n > 0 {
+		g := s.grantPool[n-1]
+		s.grantPool = s.grantPool[:n-1]
+		*g = grantEntry{tx: tx}
+		return g
+	}
+	return &grantEntry{tx: tx}
+}
+
+// freeGrantLocked recycles a grant entry once both references to it (the
+// head's granted map and the shard's byTx index) have been dropped. Caller
+// holds s.mu.
+func (s *shard) freeGrantLocked(g *grantEntry) {
+	if g != nil && len(s.grantPool) < poolCap {
+		*g = grantEntry{}
+		s.grantPool = append(s.grantPool, g)
+	}
 }
 
 func (s *shard) addDescLocked(anc storage.ItemID, h *head) {

@@ -1,0 +1,36 @@
+// Zero-allocation guards for the lock-manager fast path. The benchmarks
+// report allocs/op and CI gates on them, but a benchmark only runs when
+// someone benchmarks; these tests make the property a plain `go test`
+// failure the moment a change puts an allocation back on the hot path.
+package lock_test
+
+import (
+	"testing"
+
+	"adaptivecc/internal/lock"
+)
+
+// TestUncontendedGrantReleaseZeroAlloc pins the every-local-access path:
+// one transaction locking an object EX (three ancestor intents included)
+// and releasing everything must not allocate once the manager's shards
+// and per-transaction bookkeeping are warm.
+func TestUncontendedGrantReleaseZeroAlloc(t *testing.T) {
+	m := lock.NewManager(nil, nil)
+	tx := lock.TxID{Site: "zero", Seq: 1}
+	o := benchObj(7, 3)
+	// Warm: the first cycle builds the shard entries and free lists.
+	if err := m.Lock(tx, o, lock.EX, lock.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	m.ReleaseAll(tx)
+
+	n := testing.AllocsPerRun(200, func() {
+		if err := m.Lock(tx, o, lock.EX, lock.Options{}); err != nil {
+			t.Fatal(err)
+		}
+		m.ReleaseAll(tx)
+	})
+	if n != 0 {
+		t.Errorf("uncontended grant/release allocates %.2f allocs/op, want 0", n)
+	}
+}

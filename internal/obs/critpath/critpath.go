@@ -12,7 +12,7 @@
 //	network    EvRPC (round trip minus the server-side serve span = wire
 //	           plus queueing time)
 //	disk       EvDiskIO
-//	wal        EvWALAppend
+//	wal        EvWALAppend, EvGroupCommit (group-commit force waits)
 //	other      everything else (client/server compute: EvClientOp,
 //	           EvServe, EvCommit, ...)
 //
@@ -76,7 +76,7 @@ func phaseOf(k obs.EventKind) Phase {
 		return PhaseNetwork
 	case obs.EvDiskIO:
 		return PhaseDisk
-	case obs.EvWALAppend:
+	case obs.EvWALAppend, obs.EvGroupCommit:
 		return PhaseWAL
 	default:
 		return PhaseOther
@@ -88,10 +88,10 @@ func phaseOf(k obs.EventKind) Phase {
 // the per-phase exclusive times in Phases can sum past Total when
 // parallel fan-outs overlap, so percentages are taken over the phase sum.
 type Breakdown struct {
-	Commits int                       // traces containing an EvCommit
-	Traces  int                       // traces with at least one timed event
-	Phases  [NumPhases]time.Duration  // exclusive time per phase, all traces
-	Total   time.Duration             // summed root-span durations
+	Commits int                      // traces containing an EvCommit
+	Traces  int                      // traces with at least one timed event
+	Phases  [NumPhases]time.Duration // exclusive time per phase, all traces
+	Total   time.Duration            // summed root-span durations
 }
 
 // PhaseSum is the summed exclusive time across all phases.

@@ -11,26 +11,27 @@ type EventKind int
 
 // The event vocabulary of the page-server fabric (see DESIGN.md §9).
 const (
-	EvLockRequest EventKind = iota + 1 // explicit hierarchical lock request
-	EvLockBlock                        // a lock request started waiting
-	EvLockGrant                        // a blocked lock request was granted (span)
-	EvCallbackSent                     // server sent a callback to a client
-	EvCallbackBlocked                  // a client reported a callback conflict
-	EvCallbackAcked                    // a client acknowledged a callback
-	EvEscalation                       // adaptive page lock granted (PS-AA)
-	EvDeescalation                     // adaptive page lock torn down
-	EvPageShip                         // a page copy was shipped to a client
-	EvWALAppend                        // records forced to the stable log (span)
-	EvRetry                            // an RPC attempt was resent
-	EvTimeout                          // an RPC or callback round timed out
-	EvCrashReclaim                     // state of a crashed peer was reclaimed
-	EvClientOp                         // one client operation: Read/Write/LockItem (span)
-	EvRPC                              // one request/reply round trip (span)
-	EvServe                            // server-side execution of one request (span)
-	EvCallbackRound                    // one server-side callback round (span)
-	EvCallbackHandled                  // client-side handling of one callback (span)
-	EvCommit                           // Tx.Commit (span)
-	EvDiskIO                           // one page read from a volume (span)
+	EvLockRequest     EventKind = iota + 1 // explicit hierarchical lock request
+	EvLockBlock                            // a lock request started waiting
+	EvLockGrant                            // a blocked lock request was granted (span)
+	EvCallbackSent                         // server sent a callback to a client
+	EvCallbackBlocked                      // a client reported a callback conflict
+	EvCallbackAcked                        // a client acknowledged a callback
+	EvEscalation                           // adaptive page lock granted (PS-AA)
+	EvDeescalation                         // adaptive page lock torn down
+	EvPageShip                             // a page copy was shipped to a client
+	EvWALAppend                            // records forced to the stable log (span)
+	EvRetry                                // an RPC attempt was resent
+	EvTimeout                              // an RPC or callback round timed out
+	EvCrashReclaim                         // state of a crashed peer was reclaimed
+	EvClientOp                             // one client operation: Read/Write/LockItem (span)
+	EvRPC                                  // one request/reply round trip (span)
+	EvServe                                // server-side execution of one request (span)
+	EvCallbackRound                        // one server-side callback round (span)
+	EvCallbackHandled                      // client-side handling of one callback (span)
+	EvCommit                               // Tx.Commit (span)
+	EvDiskIO                               // one page read from a volume (span)
+	EvGroupCommit                          // a group-committed log force (span, shared leaf)
 )
 
 // String names the kind as it appears in trace exports.
@@ -76,6 +77,8 @@ func (k EventKind) String() string {
 		return "tx.commit"
 	case EvDiskIO:
 		return "disk.io"
+	case EvGroupCommit:
+		return "wal.group_commit"
 	default:
 		return "unknown"
 	}
@@ -92,7 +95,7 @@ func (k EventKind) Category() string {
 		return "adaptive"
 	case EvPageShip:
 		return "transfer"
-	case EvWALAppend:
+	case EvWALAppend, EvGroupCommit:
 		return "wal"
 	case EvRetry, EvTimeout:
 		return "resilience"

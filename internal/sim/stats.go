@@ -55,6 +55,14 @@ const (
 	CtrFaultDelays     = "fault_delays"      // messages delayed/reordered by fault injection
 	CtrCrashDrops      = "crash_drops"       // sends refused because an endpoint was crashed
 
+	// Outbox coalescing and WAL group commit (internal/core, internal/wal).
+	CtrOutboxAcks     = "outbox_acks"      // callback acks routed through the outbox
+	CtrOutboxReleases = "outbox_releases"  // release notices routed through the outbox
+	CtrOutboxCarried  = "outbox_carried"   // coalesced notices that rode an existing message
+	CtrOutboxFlushes  = "outbox_flushes"   // deadline flushes that sent a dedicated message
+	CtrWALGroupForces = "wal_group_forces" // log forces actually issued by the group committer
+	CtrWALGroupJoins  = "wal_group_joins"  // log forces absorbed into another committer's force
+
 	// PS-AH history-advisor decisions (internal/consistency).
 	CtrAdvisorEscSuppressed   = "advisor_esc_suppressed"   // adaptive grants suppressed by deescalation history
 	CtrAdvisorObjectGrainCB   = "advisor_object_callbacks" // callback ops demoted to object grain by history

@@ -81,9 +81,10 @@ func (id ItemID) Parent() (ItemID, bool) {
 	}
 }
 
-// Ancestors returns the chain of ancestors from the volume down to (but not
-// including) the item itself.
-func (id ItemID) Ancestors() []ItemID {
+// AncestorChain returns the chain of ancestors from the volume down to
+// (but not including) the item itself, as a fixed array plus length, so
+// hot callers (every Lock call walks it) pay no allocation.
+func (id ItemID) AncestorChain() ([3]ItemID, int) {
 	var rev [3]ItemID
 	n := 0
 	cur := id
@@ -97,10 +98,19 @@ func (id ItemID) Ancestors() []ItemID {
 		cur = p
 	}
 	// rev is child-to-root; flip to root-to-child.
-	out := make([]ItemID, n)
+	var out [3]ItemID
 	for i := 0; i < n; i++ {
 		out[i] = rev[n-1-i]
 	}
+	return out, n
+}
+
+// Ancestors returns the chain of ancestors from the volume down to (but not
+// including) the item itself.
+func (id ItemID) Ancestors() []ItemID {
+	chain, n := id.AncestorChain()
+	out := make([]ItemID, n)
+	copy(out, chain[:n])
 	return out
 }
 

@@ -32,7 +32,11 @@ type Message struct {
 	To          string
 	Kind        string
 	CarriesPage bool
-	Payload     any
+	// BatchItems counts notices coalesced into this message by the sender's
+	// outbox (piggybacked purges, acks, releases). Each one costs
+	// PerBatchItem of CPU at both ends — far less than a message of its own.
+	BatchItems int
+	Payload    any
 }
 
 // Handler receives delivered messages. Each delivery runs in its own
@@ -168,6 +172,9 @@ func (n *Network) pump(p *path, dst *node) {
 			if m.CarriesPage {
 				cost += n.costs.PerPageExtra
 			}
+			if m.BatchItems > 0 {
+				cost += time.Duration(m.BatchItems) * n.costs.PerBatchItem
+			}
 			dst.cpu.Use(cost)
 			dst.handler(m)
 		}(msg)
@@ -216,6 +223,9 @@ func (n *Network) Send(msg Message, pathHint int) error {
 	cost := n.costs.MsgCPU
 	if msg.CarriesPage {
 		cost += n.costs.PerPageExtra
+	}
+	if msg.BatchItems > 0 {
+		cost += time.Duration(msg.BatchItems) * n.costs.PerBatchItem
 	}
 	sender.cpu.Use(cost)
 
@@ -299,6 +309,9 @@ func (n *Network) deliverDirect(msg Message, extra time.Duration) {
 		cost := n.costs.MsgCPU
 		if msg.CarriesPage {
 			cost += n.costs.PerPageExtra
+		}
+		if msg.BatchItems > 0 {
+			cost += time.Duration(msg.BatchItems) * n.costs.PerBatchItem
 		}
 		dst.cpu.Use(cost)
 		dst.handler(msg)

@@ -10,6 +10,7 @@ package wal
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/sim"
@@ -105,6 +106,91 @@ type StableLog struct {
 	size     int
 	img      *LogImage // serialized image of the log disk; nil unless enabled
 	nextCkpt uint64
+	gf       *groupForcer // nil unless EnableGroupCommit was called
+}
+
+// ForceInfo describes how one log force was satisfied: the number of
+// committers whose forces were covered by the same disk write (Cohort, at
+// least 1) and whether this caller issued the write (Led) or was absorbed
+// into another committer's batch.
+type ForceInfo struct {
+	Cohort int
+	Led    bool
+}
+
+// groupForcer absorbs concurrent log forces into one disk write. The first
+// force to arrive becomes the batch leader: it opens a window, sleeps it
+// out, then issues a single disk write on behalf of everyone who joined in
+// the meantime. Correctness leans on the StableLog discipline that records
+// (and the log image) are appended under l.mu *before* the force is
+// requested — so by the time the leader writes, the batch's records are
+// all in the log and one write covers them.
+type groupForcer struct {
+	window time.Duration
+	stats  *sim.Stats
+
+	mu      sync.Mutex
+	pending *forceBatch // batch currently open for joiners; nil when none
+}
+
+type forceBatch struct {
+	done   chan struct{} // closed by the leader after its disk write
+	cohort int           // guarded by groupForcer.mu until done is closed
+}
+
+// force satisfies one log force request, either by leading a new batch or
+// by waiting out the current leader's write.
+func (g *groupForcer) force(disk *storage.Disk) ForceInfo {
+	g.mu.Lock()
+	if b := g.pending; b != nil {
+		b.cohort++
+		g.mu.Unlock()
+		<-b.done
+		if g.stats != nil {
+			g.stats.Inc(sim.CtrWALGroupJoins)
+		}
+		return ForceInfo{Cohort: b.cohort, Led: false}
+	}
+	b := &forceBatch{done: make(chan struct{}), cohort: 1}
+	g.pending = b
+	g.mu.Unlock()
+	if g.window > 0 {
+		time.Sleep(g.window)
+	}
+	g.mu.Lock()
+	g.pending = nil // no more joiners; the write below covers the batch
+	cohort := b.cohort
+	g.mu.Unlock()
+	disk.Write()
+	close(b.done)
+	if g.stats != nil {
+		g.stats.Inc(sim.CtrWALGroupForces)
+	}
+	return ForceInfo{Cohort: cohort, Led: true}
+}
+
+// EnableGroupCommit turns on group commit: concurrent forces of this log
+// are absorbed into one disk write, each leader waiting up to window for
+// companions. Call before the log sees concurrent traffic. A nil stats
+// disables the force/join counters.
+func (l *StableLog) EnableGroupCommit(window time.Duration, stats *sim.Stats) {
+	l.mu.Lock()
+	l.gf = &groupForcer{window: window, stats: stats}
+	l.mu.Unlock()
+}
+
+// force issues one log force outside the mutex, routing through the group
+// committer when enabled. Callers pass the gf pointer they loaded while
+// still holding l.mu, so enabling group commit mid-run is race-free.
+func (l *StableLog) force(gf *groupForcer) ForceInfo {
+	if l.disk == nil {
+		return ForceInfo{Cohort: 1, Led: true}
+	}
+	if gf == nil {
+		l.disk.Write()
+		return ForceInfo{Cohort: 1, Led: true}
+	}
+	return gf.force(l.disk)
 }
 
 // NewStableLog returns an empty stable log writing to disk.
@@ -115,8 +201,15 @@ func NewStableLog(disk *storage.Disk) *StableLog {
 // Append assigns LSNs to records, retains them for possible undo, and
 // charges one log-disk write for the batch (group force).
 func (l *StableLog) Append(recs []Record) []Record {
+	out, _ := l.AppendForce(recs)
+	return out
+}
+
+// AppendForce is Append plus a report of how the trailing log force was
+// satisfied (the group-commit cohort it shared a disk write with).
+func (l *StableLog) AppendForce(recs []Record) ([]Record, ForceInfo) {
 	if len(recs) == 0 {
-		return nil
+		return nil, ForceInfo{}
 	}
 	l.mu.Lock()
 	out := make([]Record, len(recs))
@@ -130,25 +223,28 @@ func (l *StableLog) Append(recs []Record) []Record {
 		}
 	}
 	l.size += len(recs)
+	gf := l.gf
 	l.mu.Unlock()
-	if l.disk != nil {
-		l.disk.Write()
-	}
-	return out
+	return out, l.force(gf)
 }
 
 // Commit releases the undo information of tx and charges the commit-record
 // force.
 func (l *StableLog) Commit(tx lock.TxID) {
+	l.CommitForce(tx)
+}
+
+// CommitForce is Commit plus a report of how the commit-record force was
+// satisfied.
+func (l *StableLog) CommitForce(tx lock.TxID) ForceInfo {
 	l.mu.Lock()
 	delete(l.active, tx)
 	if l.img != nil {
 		l.img.AppendCommit(tx)
 	}
+	gf := l.gf
 	l.mu.Unlock()
-	if l.disk != nil {
-		l.disk.Write()
-	}
+	return l.force(gf)
 }
 
 // Abort removes and returns tx's shipped records in reverse order, ready
