@@ -1,0 +1,196 @@
+// Command shored is the standalone page server: one server-role peer
+// serving a volume over the TCP transport fabric. shorecli (or any
+// shoreclient-based program) connects to it and runs transactions against
+// the served database; the consistency protocol, callbacks, 2PC, and WAL
+// all run exactly as on the simulated fabric.
+//
+// Usage:
+//
+//	shored                                   # PS-AA, 1200 pages, 127.0.0.1:7455
+//	shored -addr 127.0.0.1:0 -addr-file a    # ephemeral port, written to file a
+//	shored -protocol ps -pages 4800          # protocol and database size
+//	shored -metrics :8377                    # Prometheus /metrics + expvar
+//	shored -batch -groupcommit               # message coalescing + WAL group commit
+//
+// On SIGINT/SIGTERM the server shuts down gracefully: the fabric drains
+// in-flight requests and queued frames, the WAL is forced so every
+// acknowledged commit is stable, and a final counter summary is printed.
+package main
+
+import (
+	"expvar"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"syscall"
+	"time"
+
+	"adaptivecc/internal/consistency"
+	"adaptivecc/internal/core"
+	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/critpath"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/transport"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "shored:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("shored", flag.ContinueOnError)
+	var (
+		addr       = fs.String("addr", "127.0.0.1:7455", "TCP listen address (use :0 for an ephemeral port)")
+		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file (for -addr :0)")
+		name       = fs.String("name", "srv", "server peer name (clients must use the same name)")
+		protoStr   = fs.String("protocol", "PS-AA", "consistency protocol (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)")
+		volume     = fs.Uint("volume", 1, "served volume ID")
+		pages      = fs.Uint("pages", 1200, "database size in pages")
+		objsPage   = fs.Int("objects-per-page", 20, "objects per page")
+		pageSize   = fs.Int("page-size", 4096, "page size in bytes")
+		serverPool = fs.Int("server-pool", 0, "server buffer pool in pages (default pages/2)")
+		numPaths   = fs.Int("num-paths", 3, "independent FIFO paths per peer pair (clients must match)")
+		seed       = fs.Int64("seed", 1, "path-selection seed")
+		rpcTimeout = fs.Duration("rpc-timeout", 500*time.Millisecond, "request attempt timeout (retry/dedup recovers socket loss)")
+		batch      = fs.Bool("batch", false, "coalesce callback acks, release notices, and purges onto same-path messages")
+		groupCmt   = fs.Bool("groupcommit", false, "absorb concurrent WAL forces into shared disk writes")
+		obsOn      = fs.Bool("obs", false, "enable observability: latency histograms and trace rings")
+		metricsAt  = fs.String("metrics", "", "serve live metrics at this address (/metrics Prometheus text, /debug/vars expvar); implies -obs")
+		traceOut   = fs.String("traceout", "", "write a Chrome trace-event JSON file on shutdown (open in Perfetto); implies -obs")
+		cpOut      = fs.String("critpath", "", "write the commit critical-path breakdown on shutdown; implies -obs")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	proto, ok := consistency.Parse(*protoStr)
+	if !ok {
+		return fmt.Errorf("unknown protocol %q (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)", *protoStr)
+	}
+	if *metricsAt != "" || *traceOut != "" || *cpOut != "" {
+		*obsOn = true
+	}
+
+	costs := sim.DefaultCosts(0) // real wire: no simulated latency on top
+	pool := *serverPool
+	if pool == 0 {
+		pool = int(*pages) / 2
+	}
+	cfg := core.Config{
+		Protocol:        proto,
+		Costs:           costs,
+		ObjectsPerPage:  *objsPage,
+		ObjectSize:      *pageSize / *objsPage,
+		ServerPoolPages: pool,
+		ClientPoolPages: 64, // server-role only; no local applications
+		NumPaths:        *numPaths,
+		Seed:            *seed,
+		UseTimeouts:     true,
+		AdaptiveTimeout: false,
+		FixedTimeout:    5 * time.Second,
+		RPCTimeout:      *rpcTimeout,
+		Batch:           *batch,
+		GroupCommit:     *groupCmt,
+		Obs:             obs.Config{Enabled: *obsOn},
+		Transport:       transport.TCPFactory(transport.TCPOptions{ListenAddr: *addr}),
+	}
+	sys, err := core.NewSystemFabric(cfg)
+	if err != nil {
+		return err
+	}
+
+	vol := storage.NewVolume(storage.VolumeID(*volume), costs, sys.Stats())
+	if _, err := vol.CreateFile(1, 0, uint32(*pages), *objsPage, cfg.ObjectSize); err != nil {
+		return err
+	}
+	sys.Directory().AddExtent(storage.VolumeID(*volume), 1, 0, uint32(*pages))
+	srv, err := sys.AddPeer(*name, vol)
+	if err != nil {
+		return err
+	}
+
+	bound := sys.Net().(*transport.TCP).Addr()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound), 0o644); err != nil {
+			return fmt.Errorf("addr-file: %w", err)
+		}
+	}
+	fmt.Printf("shored: %s serving volume %d (%d pages, %d objs/page) on %s as %q\n",
+		proto, *volume, *pages, *objsPage, bound, *name)
+
+	if *metricsAt != "" {
+		obs.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		hs := &http.Server{Addr: *metricsAt, Handler: mux}
+		go func() {
+			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "shored: metrics server:", err)
+			}
+		}()
+		fmt.Printf("shored: metrics at http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", *metricsAt)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	s := <-sig
+	fmt.Printf("shored: %v — draining in-flight work\n", s)
+
+	// Graceful shutdown: Close drains in-flight handler invocations and
+	// flushes queued frames onto live sockets; the WAL force then makes
+	// every acknowledged commit stable before the process exits.
+	sys.Close()
+	srv.ForceWAL()
+	if set := sys.Obs(); set != nil {
+		if *traceOut != "" {
+			if err := writeTrace(*traceOut, set); err != nil {
+				return err
+			}
+		}
+		if *cpOut != "" {
+			bd := critpath.Analyze(set.TraceEvents())
+			if err := os.WriteFile(*cpOut, []byte(bd.Table()), 0o644); err != nil {
+				return fmt.Errorf("critpath: %w", err)
+			}
+		}
+	}
+	printSummary(sys.Stats())
+	return nil
+}
+
+// writeTrace dumps the trace ring as Chrome trace-event JSON.
+func writeTrace(path string, set *obs.Set) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("traceout: %w", err)
+	}
+	if err := obs.WriteChromeTrace(f, set.TraceEvents()); err != nil {
+		f.Close()
+		return fmt.Errorf("traceout: %w", err)
+	}
+	return f.Close()
+}
+
+// printSummary renders the nonzero counters, sorted, as the shutdown
+// report.
+func printSummary(stats *sim.Stats) {
+	snap := stats.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k, v := range snap {
+		if v != 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	fmt.Println("shored: final counters:")
+	for _, k := range keys {
+		fmt.Printf("  %-24s %d\n", k, snap[k])
+	}
+}

@@ -124,6 +124,21 @@ func (p *Pool) makeRoomLocked() []Eviction {
 	return out
 }
 
+// EvictAll drains the pool, returning every resident page as an eviction,
+// pinned pages included — the client-detach path, where no transaction is
+// active to hold a pin legitimately. The pool is empty afterwards.
+func (p *Pool) EvictAll() []Eviction {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Eviction, 0, len(p.frames))
+	for id, f := range p.frames {
+		out = append(out, Eviction{ID: id, Page: f.page, Dirty: f.dirty, Avail: f.avail})
+	}
+	p.frames = make(map[storage.ItemID]*frame, p.capacity)
+	p.lru.Init()
+	return out
+}
+
 // Remove purges a page (e.g. on callback invalidation), regardless of LRU
 // position. It reports whether the page was resident and its dirty mask.
 func (p *Pool) Remove(id storage.ItemID) (storage.AvailMask, bool) {

@@ -201,10 +201,10 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 		}
 		req := getCbReq()
 		*req = callbackReq{OpID: op.id, Server: p.name, Tx: txid, Item: item, Page: pageID, ObjectGrain: objGrain, Span: rsc}
-		_ = p.sys.net.Send(transport.Message{
+		_ = p.sendFF(transport.Message{
 			From: p.name, To: c, Kind: kindCallback,
 			Payload: req,
-		}, transport.AnyPath)
+		})
 	}
 
 	var (
@@ -608,10 +608,10 @@ func (p *Peer) sendBlocked(rq callbackReq, item storage.ItemID, mode lock.Mode, 
 			p.noteReplicated(h.Tx, rq.Server)
 		}
 	}
-	_ = p.sys.net.Send(transport.Message{
+	_ = p.sendFF(transport.Message{
 		From: p.name, To: rq.Server, Kind: kindCallbackBlocked,
 		Payload: callbackBlocked{OpID: rq.OpID, Client: p.name, Item: item, Conflicts: reps},
-	}, transport.AnyPath)
+	})
 }
 
 // sendAck completes this client's part of a callback operation. With
@@ -624,8 +624,8 @@ func (p *Peer) sendAck(rq callbackReq, invalidated bool) {
 		p.outbox.addAck(rq.Server, callbackAck{OpID: rq.OpID, Client: p.name, Invalidated: invalidated})
 		return
 	}
-	_ = p.sys.net.Send(transport.Message{
+	_ = p.sendFF(transport.Message{
 		From: p.name, To: rq.Server, Kind: kindCallbackAck,
 		Payload: callbackAck{OpID: rq.OpID, Client: p.name, Invalidated: invalidated},
-	}, transport.AnyPath)
+	})
 }

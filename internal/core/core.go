@@ -136,6 +136,12 @@ type Config struct {
 	// consistency invariants while the system runs. Nil (the default)
 	// leaves the protocol entirely audit-free.
 	Audit *audit.Auditor
+
+	// Transport, when non-nil, builds the message fabric — e.g.
+	// transport.TCPFactory for real sockets. Nil (the default) builds the
+	// in-process simulated Network, which all committed figures use; runs
+	// on the default fabric are bit-identical to the pre-Fabric system.
+	Transport transport.Factory
 }
 
 // resilient reports whether the request/reply resilience discipline
@@ -213,7 +219,7 @@ func (c Config) withDefaults() Config {
 type System struct {
 	cfg    Config
 	stats  *sim.Stats
-	net    *transport.Network
+	net    transport.Fabric
 	dir    *storage.Directory
 	owners map[storage.VolumeID]string
 	peers  map[string]*Peer
@@ -222,11 +228,32 @@ type System struct {
 
 // NewSystem builds an empty system. Timeouts default to enabled with the
 // adaptive heuristic unless the caller configured otherwise via the
-// explicit fields.
+// explicit fields. It panics if the configured transport factory fails
+// (only possible with a non-nil Config.Transport; use NewSystemFabric to
+// handle that error).
 func NewSystem(cfg Config) *System {
+	s, err := NewSystemFabric(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// NewSystemFabric is NewSystem with the transport factory's error
+// surfaced — a TCP fabric may fail to bind its listener.
+func NewSystemFabric(cfg Config) (*System, error) {
 	cfg = cfg.withDefaults()
 	stats := sim.NewStats()
-	net := transport.NewNetwork(cfg.Costs, stats, cfg.NumPaths, cfg.Seed)
+	var net transport.Fabric
+	if cfg.Transport != nil {
+		f, err := cfg.Transport(cfg.Costs, stats, cfg.NumPaths, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		net = f
+	} else {
+		net = transport.NewNetwork(cfg.Costs, stats, cfg.NumPaths, cfg.Seed)
+	}
 	if cfg.Faults != nil {
 		net.InjectFaults(*cfg.Faults)
 	}
@@ -242,7 +269,7 @@ func NewSystem(cfg Config) *System {
 		s.obsSet = obs.NewSet(cfg.Obs, stats)
 		obs.RegisterSet(s.obsSet, cfg.Protocol.String())
 	}
-	return s
+	return s, nil
 }
 
 // Stats exposes the shared counter set.
@@ -325,7 +352,26 @@ func (s *System) Close() {
 func (s *System) Obs() *obs.Set { return s.obsSet }
 
 // Net exposes the transport fabric (fault injection, runtime partitions).
-func (s *System) Net() *transport.Network { return s.net }
+// Type-assert to *transport.TCP for socket-level controls (Addr,
+// DropConnections) when the system was built with a TCP factory.
+func (s *System) Net() transport.Fabric { return s.net }
+
+// AddRemoteOwner declares that the named peer lives in another process and
+// owns the given volumes: requests for items on them are routed to it over
+// the fabric (which must know how to reach it — see
+// transport.TCPOptions.Remotes). No local Peer is created.
+func (s *System) AddRemoteOwner(name string, vols ...storage.VolumeID) error {
+	if _, ok := s.peers[name]; ok {
+		return fmt.Errorf("core: peer %q exists locally", name)
+	}
+	for _, v := range vols {
+		if owner, ok := s.owners[v]; ok {
+			return fmt.Errorf("core: volume %d already owned by %q", v, owner)
+		}
+		s.owners[v] = name
+	}
+	return nil
+}
 
 // CrashPeer kills a peer: the network refuses its traffic both ways, and
 // every surviving peer synchronously reclaims the state the dead peer left

@@ -130,6 +130,7 @@ func TestCounterCompleteness(t *testing.T) {
 	scenarioWriteBackError(t, add)
 	scenarioAdvisor(t, add)
 	scenarioBatching(t, add)
+	scenarioTCP(t, add)
 
 	for cname, counter := range declaredCounters(t) {
 		if union[counter] == 0 {
@@ -517,4 +518,37 @@ func scenarioAdvisor(t *testing.T, add func(*sim.Stats)) {
 		}
 	}
 	add(tc.sys.Stats())
+}
+
+// scenarioTCP runs a commit round-trip over the real TCP fabric (loopback,
+// single process) and then severs every socket touching a client, driving
+// the connection-lifecycle counters: CtrTCPConns on dial/accept and
+// CtrTCPReconnects when the keepers redial after the blip.
+func scenarioTCP(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 1, 4, func(c *Config) {
+		c.Transport = transport.TCPFactory(transport.TCPOptions{
+			ReconnectMin: 2 * time.Millisecond,
+			ReconnectMax: 50 * time.Millisecond,
+		})
+	})
+	a := tc.clients[0]
+	x := a.Begin()
+	writeVal(t, x, objID(0, 0), "over-tcp")
+	mustCommit(t, x)
+
+	stats := tc.sys.Stats()
+	if stats.Get(sim.CtrTCPConns) == 0 {
+		t.Error("commit over TCP established no connections")
+	}
+	tcp := tc.sys.Net().(*transport.TCP)
+	if n := tcp.DropConnections(a.Name()); n == 0 {
+		t.Error("DropConnections severed nothing")
+	}
+	waitForCounter(t, stats, sim.CtrTCPReconnects, 1, 10*time.Second)
+
+	// The fabric heals: a fresh commit flows over redialed sockets.
+	y := a.Begin()
+	writeVal(t, y, objID(0, 1), "after-blip")
+	mustCommit(t, y)
+	add(stats)
 }

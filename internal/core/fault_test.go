@@ -116,6 +116,18 @@ func runFaultCell(t *testing.T, kind string, proto Protocol, txsPerClient int) {
 			c.GroupCommitWindow = time.Millisecond
 		})
 	}
+	// FAULT_TRANSPORT=tcp runs the cell over the real TCP fabric on
+	// loopback: the same fault decisions, plus real socket teardown on
+	// crash. Retry/dedup and presumed-abort reclamation must hold on
+	// actual connections, not just the simulated fabric.
+	if os.Getenv("FAULT_TRANSPORT") == "tcp" {
+		opts = append(opts, func(c *Config) {
+			c.Transport = transport.TCPFactory(transport.TCPOptions{
+				ReconnectMin: 2 * time.Millisecond,
+				ReconnectMax: 100 * time.Millisecond,
+			})
+		})
+	}
 	// CI sets FAULT_TRACE_OUT on one cell to archive a Perfetto-loadable
 	// trace of the run as a build artifact.
 	traceOut := os.Getenv("FAULT_TRACE_OUT")

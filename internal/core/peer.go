@@ -190,6 +190,34 @@ func (p *Peer) ClientPool() *buffer.Pool { return p.pool }
 // ServerPool exposes the server-role buffer pool (tests and diagnostics).
 func (p *Peer) ServerPool() *buffer.Pool { return p.srvPool }
 
+// Detach gracefully disconnects a client-role peer: every cached page is
+// evicted and the resulting purge notices are flushed to the volume
+// owners, so their copy tables forget this peer and no future callback
+// round waits on an endpoint that is gone. Call only once local
+// transactions have drained — a remote client process shutting down after
+// its work is done; the peer must not run further transactions afterwards.
+func (p *Peer) Detach() {
+	p.noticeEvictions(p.pool.EvictAll())
+	owners := make(map[string]bool)
+	for _, owner := range p.sys.owners {
+		if owner != p.name {
+			owners[owner] = true
+		}
+	}
+	for owner := range owners {
+		p.flushPurges(owner)
+	}
+}
+
+// ForceWAL forces this peer's stable log to disk, if it owns one. The
+// graceful-shutdown barrier: run after the fabric has drained so every
+// commit that was acknowledged is stable.
+func (p *Peer) ForceWAL() {
+	if p.slog != nil {
+		p.slog.Force()
+	}
+}
+
 // noteError records an asynchronous failure for LastError.
 func (p *Peer) noteError(err error) {
 	if err == nil {
@@ -206,6 +234,21 @@ func (p *Peer) LastError() error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.lastErr
+}
+
+// sendFF sends a fire-and-forget protocol message. A shutdown fabric
+// (ErrClosed) and a crashed endpoint (ErrPeerDown) are expected losses —
+// the retry/dedup and crash-reclamation machinery covers them — but any
+// other failure is a connection-level transport error (e.g. TCP's
+// ErrNoRoute on a misconfigured topology) and is surfaced via LastError so
+// the harness health check fails the run loudly instead of reporting
+// healthy-looking throughput over a black hole.
+func (p *Peer) sendFF(msg transport.Message) error {
+	err := p.sys.net.Send(msg, transport.AnyPath)
+	if err != nil && !errors.Is(err, transport.ErrClosed) && !errors.Is(err, transport.ErrPeerDown) {
+		p.noteError(err)
+	}
+	return err
 }
 
 // owns reports whether this peer owns the item's volume.
@@ -245,10 +288,10 @@ func (p *Peer) handle(m transport.Message) {
 				// in flight, its reply will answer the retry too.
 				p.stats.Inc(sim.CtrDupSuppressed)
 				if cached != nil && cached != noReply {
-					_ = p.sys.net.Send(transport.Message{
+					_ = p.sendFF(transport.Message{
 						From: p.name, To: env.From, Kind: kindReply,
 						CarriesPage: replyCarriesPage(cached.Body), Payload: cached,
-					}, transport.AnyPath)
+					})
 				}
 				return
 			}
@@ -282,10 +325,10 @@ func (p *Peer) handle(m transport.Message) {
 			p.dedupComplete(from, id, reply)
 		}
 		carries := replyCarriesPage(body)
-		_ = p.sys.net.Send(transport.Message{
+		_ = p.sendFF(transport.Message{
 			From: p.name, To: from, Kind: kindReply,
 			CarriesPage: carries, Payload: reply,
-		}, transport.AnyPath)
+		})
 
 	case kindReply:
 		reply, ok := m.Payload.(*rpcReply)
@@ -511,10 +554,10 @@ func (p *Peer) flushPurges(owner string) {
 	id := p.flushReqID()
 	env := getEnvelope()
 	*env = rpcEnvelope{ReqID: id, From: p.name, Pig: pig}
-	_ = p.sys.net.Send(transport.Message{
+	_ = p.sendFF(transport.Message{
 		From: p.name, To: owner, Kind: kindPurgeFlush,
 		Payload: env,
-	}, transport.AnyPath)
+	})
 }
 
 // flushReqID allocates a dedup ReqID for a fire-and-forget flush, or zero
@@ -544,10 +587,10 @@ func (p *Peer) flushCoalesced(dest string) {
 	}
 	env := getEnvelope()
 	*env = rpcEnvelope{ReqID: p.flushReqID(), From: p.name, Pig: pig, Acks: acks, Rels: rels}
-	err := p.sys.net.Send(transport.Message{
+	err := p.sendFF(transport.Message{
 		From: p.name, To: dest, Kind: kindPurgeFlush,
 		BatchItems: len(acks) + len(rels), Payload: env,
-	}, transport.AnyPath)
+	})
 	if err == nil {
 		p.stats.Inc(sim.CtrOutboxFlushes)
 	}

@@ -1,0 +1,39 @@
+package core
+
+import "adaptivecc/internal/transport"
+
+// The TCP fabric serializes Message payloads with encoding/gob, which
+// needs every concrete type that travels behind an interface — the
+// Message.Payload itself and the Body of envelopes and replies —
+// registered up front. Pointer payloads (*rpcEnvelope, *rpcReply,
+// *callbackReq) are registered as pointers because that is exactly what
+// handle() type-asserts on delivery; gob decodes them back into fresh
+// allocations, so the sender's pooled frames are never shared across the
+// wire. The simulated Network ignores all of this: payloads travel
+// in-process by reference, and gob never runs.
+func init() {
+	// Message payloads, by kind.
+	transport.RegisterWireType(&rpcEnvelope{})    // kindRequest, kindPurgeFlush
+	transport.RegisterWireType(&rpcReply{})       // kindReply
+	transport.RegisterWireType(&callbackReq{})    // kindCallback
+	transport.RegisterWireType(callbackAck{})     // kindCallbackAck
+	transport.RegisterWireType(callbackBlocked{}) // kindCallbackBlocked
+
+	// Request bodies (rpcEnvelope.Body).
+	transport.RegisterWireType(readReq{})
+	transport.RegisterWireType(writeReq{})
+	transport.RegisterWireType(lockReq{})
+	transport.RegisterWireType(prepareReq{})
+	transport.RegisterWireType(finishReq{})
+	transport.RegisterWireType(releaseReq{})
+	transport.RegisterWireType(deescReq{})
+
+	// Reply bodies (rpcReply.Body).
+	transport.RegisterWireType(readResp{})
+	transport.RegisterWireType(writeResp{})
+	transport.RegisterWireType(lockResp{})
+	transport.RegisterWireType(prepareResp{})
+	transport.RegisterWireType(finishResp{})
+	transport.RegisterWireType(releaseResp{})
+	transport.RegisterWireType(deescResp{})
+}

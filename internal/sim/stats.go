@@ -44,7 +44,7 @@ const (
 	CtrObjectWrites    = "object_writes"     // application-level object writes
 	CtrLocalHits       = "local_cache_hits"  // reads satisfied from the local cache
 	CtrEscalationSaved = "escalations_saved" // object writes covered by an adaptive page lock
-	CtrNetDrops        = "net_drops"         // messages dropped because the network was closed
+	CtrNetDrops        = "net_drops"         // sends refused because the fabric was closed (or, on TCP, unroutable)
 	CtrWriteBackErrors = "writeback_errors"  // dirty-page write-backs that failed
 	CtrRetries         = "retries"           // RPC attempts resent after a reply timeout
 	CtrTimeoutsFired   = "timeouts_fired"    // RPC/callback-round timeouts that fired
@@ -62,6 +62,10 @@ const (
 	CtrOutboxFlushes  = "outbox_flushes"   // deadline flushes that sent a dedicated message
 	CtrWALGroupForces = "wal_group_forces" // log forces actually issued by the group committer
 	CtrWALGroupJoins  = "wal_group_joins"  // log forces absorbed into another committer's force
+
+	// TCP fabric connection lifecycle (internal/transport).
+	CtrTCPConns      = "tcp_conns"      // TCP connections established (dialed or accepted)
+	CtrTCPReconnects = "tcp_reconnects" // dials that replaced a previously-lost connection
 
 	// PS-AH history-advisor decisions (internal/consistency).
 	CtrAdvisorEscSuppressed   = "advisor_esc_suppressed"   // adaptive grants suppressed by deescalation history

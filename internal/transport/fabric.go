@@ -1,0 +1,56 @@
+// Fabric abstracts the message transport connecting peers so the protocol
+// layer runs unchanged over the in-process simulated Network (the default,
+// and the one all committed figures are generated on) or a real TCP fabric.
+// The contract both implementations honor:
+//
+//   - Per ordered pair of endpoints there are NumPaths independent FIFO
+//     paths. Message order is preserved along a path; messages on different
+//     paths may arrive and be handled in any order.
+//   - Each delivered message invokes the destination's Handler in a fresh
+//     goroutine, after charging the receiver's CPU resource.
+//   - Send charges the sender's CPU and returns once the message has been
+//     accepted by the fabric. CtrNetDrops counts only sends rejected
+//     because the fabric was closed (or, on TCP, unroutable); injected
+//     fault drops are CtrFaultDrops and crashed-peer refusals are
+//     CtrCrashDrops + ErrPeerDown, exactly as on the simulated Network.
+//   - The fault-injection surface (InjectFaults/Crash/Crashed/
+//     PartitionLink/HealLink) makes identical per-link decisions on both
+//     fabrics for the same FaultPlan.
+//
+// What TCP does NOT promise that the Network does: lossless delivery of
+// accepted messages. A frame in flight when its socket dies is gone, like
+// a datagram on a real wire; the resilient-RPC retry/dedup layer above is
+// what turns that into exactly-once semantics.
+package transport
+
+import "adaptivecc/internal/sim"
+
+// Fabric is the transport seen by the protocol layer.
+type Fabric interface {
+	// Register attaches an endpoint: cpu is charged for sends and
+	// receives, handler runs (in a fresh goroutine) per delivered message.
+	Register(name string, cpu *sim.Resource, handler Handler) error
+	// Send transmits msg over the chosen path (AnyPath picks one).
+	Send(msg Message, pathHint int) error
+	// NumPaths reports the per-pair independent path count.
+	NumPaths() int
+	// Close shuts the fabric down and waits for in-flight deliveries.
+	Close()
+
+	// Fault-injection surface, shared via faultHost.
+	InjectFaults(plan FaultPlan)
+	Crash(name string) bool
+	Crashed(name string) bool
+	PartitionLink(from, to string)
+	HealLink(from, to string)
+}
+
+// Factory builds a Fabric for a System. The stats sink, cost table, path
+// count, and seed come from the owning Config so counters and CPU charging
+// are identical across fabrics.
+type Factory func(costs sim.CostTable, stats *sim.Stats, numPaths int, seed int64) (Fabric, error)
+
+var (
+	_ Fabric = (*Network)(nil)
+	_ Fabric = (*TCP)(nil)
+)

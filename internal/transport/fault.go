@@ -14,6 +14,7 @@ import (
 	"hash/fnv"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -141,35 +142,46 @@ func (fs *faultState) isCrashed(name string) bool {
 	return fs.crashed[name]
 }
 
-// faultsOrCreate returns the network's fault state, installing an empty
+// faultHost is the fault machinery shared by every Fabric implementation.
+// Embedding it gives a fabric the InjectFaults/Crash/Crashed/Partition
+// surface with identical per-link decision streams, so the same FaultPlan
+// produces the same fault schedule on the simulated Network and on TCP.
+// The faults pointer is nil until first use; fault-free fabrics pay one
+// atomic load per message.
+type faultHost struct {
+	faultsMu sync.Mutex // serializes install/create; readers use faults directly
+	faults   atomic.Pointer[faultState]
+}
+
+// faultsOrCreate returns the fabric's fault state, installing an empty
 // one on first use (runtime crashes and partitions work without a plan).
-func (n *Network) faultsOrCreate() *faultState {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	if fs := n.faults.Load(); fs != nil {
+func (h *faultHost) faultsOrCreate() *faultState {
+	h.faultsMu.Lock()
+	defer h.faultsMu.Unlock()
+	if fs := h.faults.Load(); fs != nil {
 		return fs
 	}
 	fs := newFaultState(FaultPlan{})
-	n.faults.Store(fs)
+	h.faults.Store(fs)
 	return fs
 }
 
-// InjectFaults installs (or replaces) the network's fault plan. It may be
+// InjectFaults installs (or replaces) the fabric's fault plan. It may be
 // called before traffic starts; replacing a plan mid-run resets the
 // per-link decision streams but keeps nothing else (crashed peers and
 // runtime partitions are forgotten — inject before crashing).
-func (n *Network) InjectFaults(plan FaultPlan) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	n.faults.Store(newFaultState(plan))
+func (h *faultHost) InjectFaults(plan FaultPlan) {
+	h.faultsMu.Lock()
+	defer h.faultsMu.Unlock()
+	h.faults.Store(newFaultState(plan))
 }
 
 // Crash marks an endpoint dead: subsequent sends to or from it fail with
 // ErrPeerDown, and messages already queued for it are discarded at
 // delivery time (a dead peer processes nothing). Returns false if the peer
 // was already crashed. Works without a fault plan.
-func (n *Network) Crash(name string) bool {
-	fs := n.faultsOrCreate()
+func (h *faultHost) Crash(name string) bool {
+	fs := h.faultsOrCreate()
 	fs.mu.Lock()
 	defer fs.mu.Unlock()
 	if fs.crashed[name] {
@@ -180,23 +192,23 @@ func (n *Network) Crash(name string) bool {
 }
 
 // Crashed reports whether an endpoint has been crashed.
-func (n *Network) Crashed(name string) bool {
-	fs := n.faults.Load()
+func (h *faultHost) Crashed(name string) bool {
+	fs := h.faults.Load()
 	return fs != nil && fs.isCrashed(name)
 }
 
 // PartitionLink installs a runtime one-way partition from->to ("" matches
 // any endpoint). It stacks with the plan's declarative windows.
-func (n *Network) PartitionLink(from, to string) {
-	fs := n.faultsOrCreate()
+func (h *faultHost) PartitionLink(from, to string) {
+	fs := h.faultsOrCreate()
 	fs.mu.Lock()
 	fs.parts[linkKey{from, to}] = true
 	fs.mu.Unlock()
 }
 
 // HealLink removes a runtime partition installed by PartitionLink.
-func (n *Network) HealLink(from, to string) {
-	fs := n.faults.Load()
+func (h *faultHost) HealLink(from, to string) {
+	fs := h.faults.Load()
 	if fs == nil {
 		return
 	}

@@ -12,7 +12,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"adaptivecc/internal/sim"
@@ -50,6 +49,11 @@ const AnyPath = -1
 
 // Network connects registered endpoints.
 type Network struct {
+	// faultHost is nil-plan until InjectFaults/Crash/PartitionLink first
+	// installs fault machinery; the send and delivery paths load it once
+	// per message and skip all fault logic when it is nil.
+	faultHost
+
 	costs     sim.CostTable
 	stats     *sim.Stats
 	numPaths  int
@@ -57,11 +61,6 @@ type Network struct {
 	rngMu     sync.Mutex
 	deliverWG sync.WaitGroup
 	stopCh    chan struct{} // closed by Close; unblocks senders and pumps
-
-	// faults is nil until InjectFaults/Crash/PartitionLink first installs
-	// fault machinery; the send and delivery paths load it once per message
-	// and skip all fault logic when it is nil.
-	faults atomic.Pointer[faultState]
 
 	mu     sync.Mutex
 	nodes  map[string]*node

@@ -1,0 +1,157 @@
+// Wire format of the TCP fabric. Every frame on a connection is
+//
+//	[length uint32][version byte][crc32 uint32][payload ...]
+//
+// with big-endian integers. length counts payload bytes only (the header
+// is fixed at 9 bytes), version is wireVersion, and the checksum is
+// IEEE CRC-32 over the payload. The payload is one self-contained gob
+// stream: the first frame on a connection carries a wireHello identifying
+// the dialing link, every later frame carries a wireFrame holding one
+// Message. Self-contained streams cost a little redundancy per frame but
+// mean a truncated, reordered, or corrupted frame can never poison decoder
+// state for its successors — and they make the decoder independently
+// fuzzable.
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+const (
+	// wireVersion is bumped on any incompatible framing or schema change;
+	// both ends refuse mismatched frames instead of misparsing them.
+	wireVersion = 1
+
+	// wireHeaderSize is the fixed frame header: length + version + crc.
+	wireHeaderSize = 4 + 1 + 4
+
+	// maxFramePayload bounds a single frame. The largest legitimate frame
+	// is a page ship plus piggybacked notices — well under a megabyte —
+	// so 16 MiB rejects garbage lengths without constraining the protocol.
+	maxFramePayload = 16 << 20
+)
+
+// Framing errors. All wrap ErrBadFrame so readers can treat any of them as
+// "this connection is poisoned, drop it".
+var (
+	ErrBadFrame     = errors.New("transport: bad frame")
+	ErrBadVersion   = fmt.Errorf("%w: wire version mismatch", ErrBadFrame)
+	ErrFrameTooBig  = fmt.Errorf("%w: length exceeds limit", ErrBadFrame)
+	ErrBadChecksum  = fmt.Errorf("%w: crc mismatch", ErrBadFrame)
+	ErrEmptyFrame   = fmt.Errorf("%w: zero-length payload", ErrBadFrame)
+)
+
+// wireHello is the first frame on every connection: the dialer declares
+// which ordered link and path index the connection carries.
+type wireHello struct {
+	From string
+	To   string
+	Path int
+}
+
+// wireFrame is the payload of every post-hello frame: one Message. The
+// Payload field rides as a gob interface value, so every concrete payload
+// type must be registered with RegisterWireType (the core package does
+// this for all protocol messages in its init).
+type wireFrame struct {
+	Msg Message
+}
+
+// RegisterWireType registers a concrete Message payload type with the gob
+// codec. Call from an init function; registering the same type twice with
+// the same name is a no-op, mismatches panic (as gob.Register does).
+func RegisterWireType(v any) { gob.Register(v) }
+
+// appendFrame appends a complete frame (header + payload) to dst and
+// returns the extended slice. It never fails: size enforcement happens at
+// decode, and encode-side payloads are produced by gob from our own types.
+func appendFrame(dst, payload []byte) []byte {
+	var hdr [wireHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	hdr[4] = wireVersion
+	binary.BigEndian.PutUint32(hdr[5:9], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// readFrame reads one length-prefixed frame from r and returns its
+// verified payload. Errors are either I/O errors from r or wrap
+// ErrBadFrame; a reader must abandon the connection on any of them, since
+// after a framing error the stream position is unknown.
+func readFrame(r io.Reader) ([]byte, error) {
+	var hdr [wireHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[0:4])
+	if hdr[4] != wireVersion {
+		return nil, fmt.Errorf("%w: got %d, want %d", ErrBadVersion, hdr[4], wireVersion)
+	}
+	if n == 0 {
+		return nil, ErrEmptyFrame
+	}
+	if n > maxFramePayload {
+		return nil, fmt.Errorf("%w: %d > %d", ErrFrameTooBig, n, maxFramePayload)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		// A short payload after a complete header is a truncated frame,
+		// not a clean EOF.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, fmt.Errorf("%w: truncated payload: %v", ErrBadFrame, err)
+		}
+		return nil, err
+	}
+	if got, want := crc32.ChecksumIEEE(payload), binary.BigEndian.Uint32(hdr[5:9]); got != want {
+		return nil, fmt.Errorf("%w: %08x != %08x", ErrBadChecksum, got, want)
+	}
+	return payload, nil
+}
+
+// encodeMessage gob-encodes one Message as a self-contained stream.
+func encodeMessage(msg Message) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(wireFrame{Msg: msg}); err != nil {
+		return nil, fmt.Errorf("transport: encode %s %s->%s: %w", msg.Kind, msg.From, msg.To, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeMessage decodes a payload produced by encodeMessage.
+func decodeMessage(payload []byte) (Message, error) {
+	var f wireFrame
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&f); err != nil {
+		return Message{}, fmt.Errorf("%w: gob: %v", ErrBadFrame, err)
+	}
+	return f.Msg, nil
+}
+
+// encodeHello / decodeHello frame the connection-opening handshake.
+func encodeHello(h wireHello) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(h); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeHello(payload []byte) (wireHello, error) {
+	var h wireHello
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&h); err != nil {
+		return wireHello{}, fmt.Errorf("%w: hello: %v", ErrBadFrame, err)
+	}
+	return h, nil
+}
+
+// writeFrame encodes payload into a frame and writes it whole to w.
+func writeFrame(w io.Writer, payload []byte) error {
+	frame := appendFrame(make([]byte, 0, wireHeaderSize+len(payload)), payload)
+	_, err := w.Write(frame)
+	return err
+}

@@ -193,6 +193,16 @@ func (l *StableLog) force(gf *groupForcer) ForceInfo {
 	return gf.force(l.disk)
 }
 
+// Force flushes the log to its disk unconditionally — the shutdown
+// barrier a server runs after draining in-flight work, so everything
+// appended before the call is stable regardless of group-commit windows.
+func (l *StableLog) Force() ForceInfo {
+	l.mu.Lock()
+	gf := l.gf
+	l.mu.Unlock()
+	return l.force(gf)
+}
+
 // NewStableLog returns an empty stable log writing to disk.
 func NewStableLog(disk *storage.Disk) *StableLog {
 	return &StableLog{disk: disk, nextLSN: 1, active: make(map[lock.TxID][]Record)}

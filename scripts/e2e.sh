@@ -1,0 +1,119 @@
+#!/bin/sh
+# e2e.sh — build shored + shorecli and run a loopback end-to-end cell:
+# a real TCP page server, client peers driving the paper's workloads over
+# actual sockets, then a graceful SIGTERM shutdown (drain + WAL force).
+# This script IS the CI entrypoint for the e2e-tcp job; run it locally
+# for the same coverage.
+#
+# usage: scripts/e2e.sh smoke
+#            quick local check: PS-AA, small tx counts, no race detector
+#        scripts/e2e.sh matrix <protocol> <batch on|off>
+#            one CI matrix cell: HOTCOLD and HOTSPOT against one server
+#
+# environment:
+#   E2E_RACE=1      build both binaries with -race (CI sets this)
+#   E2E_OUT=dir     artifact directory: server log, Perfetto trace, and
+#                   critical-path breakdown land here (default ./e2e-out)
+#   E2E_TXS=n       transactions per application (default 30)
+set -eu
+
+mode=${1:-smoke}
+case "$mode" in
+smoke)
+    protocol=PS-AA
+    batch=off
+    ;;
+matrix)
+    [ $# -ge 3 ] || { echo "usage: $0 matrix <protocol> <batch on|off>" >&2; exit 2; }
+    protocol=$2
+    batch=$3
+    ;;
+*)
+    echo "usage: $0 smoke | matrix <protocol> <batch on|off>" >&2
+    exit 2
+    ;;
+esac
+
+out=${E2E_OUT:-e2e-out}
+txs=${E2E_TXS:-30}
+mkdir -p "$out"
+
+buildflags=""
+if [ "${E2E_RACE:-}" = "1" ]; then
+    buildflags="-race"
+fi
+
+batchflag=""
+if [ "$batch" = "on" ]; then
+    batchflag="-batch"
+fi
+
+echo "== building shored and shorecli ${buildflags:+($buildflags)}"
+# shellcheck disable=SC2086 # buildflags is intentionally word-split
+go build $buildflags -o "$out/shored" ./cmd/shored
+# shellcheck disable=SC2086
+go build $buildflags -o "$out/shorecli" ./cmd/shorecli
+
+addrfile=$out/shored.addr
+rm -f "$addrfile"
+
+echo "== starting shored ($protocol, batch=$batch)"
+# shellcheck disable=SC2086
+"$out/shored" -addr 127.0.0.1:0 -addr-file "$addrfile" \
+    -protocol "$protocol" $batchflag \
+    -traceout "$out/shored-trace.json" -critpath "$out/shored-critpath.txt" \
+    >"$out/shored.log" 2>&1 &
+server_pid=$!
+
+stop_server() {
+    if kill -0 "$server_pid" 2>/dev/null; then
+        kill -TERM "$server_pid" 2>/dev/null || true
+        wait "$server_pid" 2>/dev/null || true
+    fi
+}
+trap stop_server EXIT
+
+# Wait for the ephemeral port to be bound and published.
+i=0
+while [ ! -s "$addrfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "shored never published its address; log:" >&2
+        cat "$out/shored.log" >&2
+        exit 1
+    fi
+    kill -0 "$server_pid" 2>/dev/null || {
+        echo "shored exited early; log:" >&2
+        cat "$out/shored.log" >&2
+        exit 1
+    }
+    sleep 0.1
+done
+addr=$(cat "$addrfile")
+echo "== shored listening on $addr"
+
+echo "== HOTCOLD workload over TCP"
+"$out/shorecli" -addr "$addr" -protocol "$protocol" $batchflag \
+    -workload hotcold -apps 2 -txs "$txs" -name-prefix c
+
+echo "== HOTSPOT workload over TCP"
+"$out/shorecli" -addr "$addr" -protocol "$protocol" $batchflag \
+    -workload hotspot -apps 2 -txs "$txs" -name-prefix d
+
+echo "== graceful shutdown (drain + WAL force)"
+kill -TERM "$server_pid"
+rc=0
+wait "$server_pid" || rc=$?
+trap - EXIT
+if [ "$rc" -ne 0 ]; then
+    echo "shored exited $rc; log:" >&2
+    cat "$out/shored.log" >&2
+    exit 1
+fi
+grep -q "final counters" "$out/shored.log" || {
+    echo "shored shutdown summary missing; log:" >&2
+    cat "$out/shored.log" >&2
+    exit 1
+}
+
+echo "== e2e OK ($protocol, batch=$batch); server log and artifacts in $out/"
