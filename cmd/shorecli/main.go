@@ -16,9 +16,12 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"strings"
 	"sync"
@@ -26,6 +29,8 @@ import (
 
 	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/core"
+	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/export"
 	"adaptivecc/internal/shoreclient"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
@@ -77,12 +82,24 @@ func run(args []string) error {
 		rpcTimeout = fs.Duration("rpc-timeout", 500*time.Millisecond, "request attempt timeout")
 		batch      = fs.Bool("batch", false, "coalesce acks, release notices, and purges onto same-path messages")
 		timeout    = fs.Duration("timeout", 5*time.Minute, "overall run deadline (0 = none)")
+		obsOn      = fs.Bool("obs", false, "enable observability: latency histograms, trace rings, per-path TCP telemetry")
+		metricsAt  = fs.String("metrics", "", "serve live introspection at this address (/metrics, /debug/vars, /debug/obs/snapshot); implies -obs")
+		metricsOut = fs.String("metrics-addr-file", "", "write the bound introspection address to this file (for -metrics :0)")
+		snapOut    = fs.String("snapshot-out", "", "write an obs snapshot (JSON, see internal/obs/export) to this file on exit; implies -obs")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *addr == "" {
 		return fmt.Errorf("-addr is required")
+	}
+	if *metricsAt != "" || *snapOut != "" {
+		*obsOn = true
+	}
+	if *obsOn {
+		// Namespace this process's span ids so a fleet collector can join
+		// the causal trees that span shored and this process.
+		obs.RandomizeSpanIDs()
 	}
 	proto, ok := consistency.Parse(*protoStr)
 	if !ok {
@@ -105,11 +122,44 @@ func run(args []string) error {
 		Seed:           *seed,
 		RPCTimeout:     *rpcTimeout,
 		Batch:          *batch,
+		Obs:            *obsOn,
 	})
 	if err != nil {
 		return err
 	}
-	defer cli.Close()
+	closed := false
+	closeCli := func() {
+		if !closed {
+			closed = true
+			cli.Close()
+		}
+	}
+	defer closeCli()
+	process := "shorecli:" + *namePrefix
+
+	if *metricsAt != "" {
+		obs.PublishExpvar()
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", obs.MetricsHandler())
+		mux.Handle("/debug/vars", expvar.Handler())
+		mux.Handle("/debug/obs/snapshot", export.Handler(cli.System().Obs(), process, nil))
+		mln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", *metricsAt, err)
+		}
+		if *metricsOut != "" {
+			if err := os.WriteFile(*metricsOut, []byte(mln.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("metrics-addr-file: %w", err)
+			}
+		}
+		hs := &http.Server{Handler: mux}
+		go func() {
+			if err := hs.Serve(mln); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintln(os.Stderr, "shorecli: metrics server:", err)
+			}
+		}()
+		fmt.Printf("shorecli: introspection at http://%s/metrics and /debug/obs/snapshot\n", mln.Addr().String())
+	}
 
 	peers := make([]*core.Peer, *apps)
 	gens := make([]*workload.Generator, *apps)
@@ -173,7 +223,32 @@ func run(args []string) error {
 	fmt.Printf("shorecli: %d commits, %d aborts, %d messages, %d retries, %d reconnects in %v\n",
 		stats.Get(sim.CtrCommits), stats.Get(sim.CtrAborts), stats.Get(sim.CtrMessages),
 		stats.Get(sim.CtrRetries), stats.Get(sim.CtrTCPReconnects), elapsed.Round(time.Millisecond))
+
+	// Detach and drain before capturing, so the snapshot reflects the final
+	// state: purge notices flushed, callback-round gauges at zero, counters
+	// settled. The obs Set stays readable after the fabric is closed.
+	closeCli()
+	if *snapOut != "" {
+		if err := writeSnapshot(*snapOut, cli, process); err != nil {
+			return err
+		}
+		fmt.Printf("shorecli: wrote obs snapshot to %s\n", *snapOut)
+	}
 	return nil
+}
+
+// writeSnapshot captures the client system's observability state as a
+// versioned JSON snapshot for the shorectl collector.
+func writeSnapshot(path string, cli *shoreclient.Client, process string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("snapshot-out: %w", err)
+	}
+	if err := export.Write(f, export.Capture(cli.System().Obs(), process, nil)); err != nil {
+		f.Close()
+		return fmt.Errorf("snapshot-out: %w", err)
+	}
+	return f.Close()
 }
 
 // runApp commits n workload transactions on one peer, re-executing each

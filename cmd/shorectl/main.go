@@ -1,0 +1,254 @@
+// Command shorectl is the fleet collector: it gathers observability
+// snapshots from the processes of a real TCP deployment — scraping live
+// /debug/obs/snapshot endpoints (shored, shorecli -metrics) and/or
+// reading snapshot files (shorecli -snapshot-out) — and merges them into
+// one view:
+//
+//   - a unified counter table (fleet totals plus the per-process split),
+//   - exactly merged latency/size histograms with quantiles,
+//   - one Perfetto trace with a lane per peer and flow arrows joining
+//     cross-process parent/child spans (-trace-out),
+//   - a commit critical-path breakdown over the merged causal trees
+//     (-critpath-out or stdout).
+//
+// Usage:
+//
+//	shorectl -endpoints 127.0.0.1:8377,127.0.0.1:8378 -trace-out fleet.json
+//	shorectl -files srv.snap,cli.snap -critpath-out cp.txt
+//	shorectl -endpoints ... -require-cross-flows 1 -require-network
+//
+// The -require-* flags turn shorectl into a CI gate: exit nonzero unless
+// the merged trace joins spans across processes / attributes critical-path
+// time to the network.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/critpath"
+	"adaptivecc/internal/obs/export"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "shorectl:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("shorectl", flag.ContinueOnError)
+	var (
+		endpoints = fs.String("endpoints", "", "comma-separated introspection addresses to scrape (host:port serving /debug/obs/snapshot)")
+		files     = fs.String("files", "", "comma-separated snapshot files to read (from shorecli -snapshot-out)")
+		traceOut  = fs.String("trace-out", "", "write the merged Perfetto/Chrome trace JSON to this file")
+		cpOut     = fs.String("critpath-out", "", "write the merged critical-path table to this file (otherwise printed)")
+		timeout   = fs.Duration("timeout", 5*time.Second, "per-endpoint scrape timeout")
+		minFlows  = fs.Int("require-cross-flows", 0, "fail unless at least this many cross-process span joins exist in the merged trace")
+		reqNet    = fs.Bool("require-network", false, "fail unless the merged critical path attributes nonzero time to the network phase")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eps := splitList(*endpoints)
+	fls := splitList(*files)
+	if len(eps) == 0 && len(fls) == 0 {
+		return fmt.Errorf("nothing to collect: give -endpoints and/or -files")
+	}
+
+	snaps, err := collect(eps, fls, &http.Client{Timeout: *timeout})
+	if err != nil {
+		return err
+	}
+	m := export.Merge(snaps)
+	bd := critpath.Analyze(m.Events)
+	flows := m.CrossProcessFlows()
+
+	report(out, m, bd, flows)
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := obs.WriteChromeTrace(f, m.Events); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("trace-out: %w", err)
+		}
+		fmt.Fprintf(out, "wrote merged trace (%d events, %d flow joins) to %s\n",
+			len(m.Events), flows, *traceOut)
+	}
+	if *cpOut != "" {
+		if err := os.WriteFile(*cpOut, []byte(bd.Table()), 0o644); err != nil {
+			return fmt.Errorf("critpath-out: %w", err)
+		}
+	}
+
+	if *minFlows > 0 && flows < *minFlows {
+		return fmt.Errorf("merged trace has %d cross-process span joins, want >= %d: span contexts are not riding the wire (or span-id namespaces collided)", flows, *minFlows)
+	}
+	if *reqNet && bd.Phases[critpath.PhaseNetwork] <= 0 {
+		return fmt.Errorf("merged critical path attributes no time to the network phase; real-socket RPC spans are missing")
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// collect gathers one snapshot per source: endpoints are scraped over
+// HTTP, files are read from disk. Any failing source fails the collection
+// outright — a silently missing process would skew every fleet aggregate.
+func collect(endpoints, files []string, client *http.Client) ([]*export.Snapshot, error) {
+	var snaps []*export.Snapshot
+	for _, ep := range endpoints {
+		url := ep
+		if !strings.Contains(url, "://") {
+			url = "http://" + url
+		}
+		url = strings.TrimSuffix(url, "/") + "/debug/obs/snapshot"
+		resp, err := client.Get(url)
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", ep, err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			return nil, fmt.Errorf("scrape %s: HTTP %d", ep, resp.StatusCode)
+		}
+		s, err := export.Read(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, fmt.Errorf("scrape %s: %w", ep, err)
+		}
+		snaps = append(snaps, s)
+	}
+	for _, path := range files {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, err)
+		}
+		s, err := export.Read(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, err)
+		}
+		snaps = append(snaps, s)
+	}
+	return snaps, nil
+}
+
+// report renders the merged fleet view: counters with the per-process
+// split, histogram quantiles, gauges, audit verdicts, and the commit
+// critical-path table.
+func report(w io.Writer, m *export.Merged, bd *critpath.Breakdown, flows int) {
+	fmt.Fprintf(w, "fleet: %d processes: %s\n", len(m.Processes), strings.Join(m.Processes, ", "))
+	fmt.Fprintf(w, "trace: %d events merged, %d dropped to ring wraparound, %d cross-process span joins\n\n",
+		len(m.Events), m.Dropped, flows)
+
+	// Counters: fleet total plus one column per process, nonzero rows only.
+	names := make([]string, 0, len(m.Counters))
+	for k, v := range m.Counters {
+		if v != 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	fmt.Fprintf(w, "%-28s %12s", "counter", "fleet")
+	for _, p := range m.Processes {
+		fmt.Fprintf(w, " %14s", p)
+	}
+	fmt.Fprintln(w)
+	for _, k := range names {
+		fmt.Fprintf(w, "%-28s %12d", k, m.Counters[k])
+		for _, p := range m.Processes {
+			fmt.Fprintf(w, " %14d", m.PerProcess[p][k])
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+
+	// Histograms: merged across every peer of every process; quantiles in
+	// the histogram's own unit.
+	fmt.Fprintf(w, "%-24s %10s %12s %12s %12s %12s\n", "histogram", "count", "p50", "p90", "p99", "mean")
+	for id := obs.HistID(0); id < obs.NumHists; id++ {
+		h := m.Hists[id]
+		if h.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "%-24s %10d %12s %12s %12s %12s\n", id.MetricName(), h.Count,
+			histVal(id, h.Quantile(0.5)), histVal(id, h.Quantile(0.9)),
+			histVal(id, h.Quantile(0.99)), histVal(id, h.Mean()))
+	}
+	fmt.Fprintln(w)
+
+	if len(m.Gauges) > 0 {
+		fmt.Fprintln(w, "gauges (at capture):")
+		for _, g := range m.Gauges {
+			keys := make([]string, 0, len(g.Labels))
+			for k := range g.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			var lb strings.Builder
+			for _, k := range keys {
+				fmt.Fprintf(&lb, " %s=%s", k, g.Labels[k])
+			}
+			fmt.Fprintf(w, "  %-28s%s = %d\n", g.Name, lb.String(), g.Value)
+		}
+		fmt.Fprintln(w)
+	}
+
+	if len(m.AuditViolations) > 0 {
+		total := int64(0)
+		for _, v := range m.AuditViolations {
+			total += v
+		}
+		if total > 0 {
+			fmt.Fprintln(w, "audit violations:")
+			keys := make([]string, 0, len(m.AuditViolations))
+			for k := range m.AuditViolations {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				if m.AuditViolations[k] != 0 {
+					fmt.Fprintf(w, "  %-28s %d\n", k, m.AuditViolations[k])
+				}
+			}
+		} else {
+			fmt.Fprintln(w, "audit: all invariants clean")
+		}
+		fmt.Fprintln(w)
+	}
+
+	fmt.Fprintln(w, "merged commit critical path:")
+	fmt.Fprint(w, bd.Table())
+}
+
+// histVal renders one histogram sample value in the histogram's unit:
+// durations for seconds-unit histograms, raw integers (bytes, counts)
+// otherwise — Quantile returns the raw value as a time.Duration either way.
+func histVal(id obs.HistID, v time.Duration) string {
+	if id.Unit() == obs.UnitSeconds {
+		return v.Round(time.Microsecond).String()
+	}
+	return fmt.Sprintf("%d", int64(v))
+}

@@ -1,0 +1,197 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/export"
+)
+
+// fixture snapshots model a two-process run: the client's RPC span (the
+// root of one commit's causal tree) parents the server's serve span, so
+// the merged trace must join the two lanes with a flow arrow and the
+// critical path must attribute time to the network phase.
+func serverSnap() *export.Snapshot {
+	return &export.Snapshot{
+		Version:       export.SnapshotVersion,
+		Process:       "shored:srv",
+		EpochUnixNano: 1_000_000_000,
+		Counters:      map[string]int64{"commits": 3, "tcp_accepted_conns": 1},
+		Gauges: []obs.GaugeValue{
+			{Name: "callback_rounds_outstanding", Labels: map[string]string{"peer": "srv"}, Value: 0},
+		},
+		Registries: []export.RegistrySnapshot{{
+			Site: "srv",
+			Events: []obs.Event{
+				{Kind: obs.EvServe, At: 5 * time.Millisecond, Dur: 2 * time.Millisecond,
+					Site: "srv", Tx: "c1:1", Span: 2<<32 + 1, Parent: 1<<32 + 1},
+			},
+		}},
+	}
+}
+
+func clientSnap() *export.Snapshot {
+	s := &export.Snapshot{
+		Version:       export.SnapshotVersion,
+		Process:       "shorecli:c",
+		EpochUnixNano: 1_000_000_000,
+		Counters:      map[string]int64{"commits": 3, "messages": 12},
+		Registries: []export.RegistrySnapshot{{
+			Site: "c1",
+			Events: []obs.Event{
+				{Kind: obs.EvRPC, At: 8 * time.Millisecond, Dur: 6 * time.Millisecond,
+					Site: "c1", Tx: "c1:1", Span: 1<<32 + 1},
+				{Kind: obs.EvCommit, At: 9 * time.Millisecond, Site: "c1", Tx: "c1:1"},
+			},
+		}},
+	}
+	var h obs.HistSnapshot
+	h.Count = 4
+	h.Sum = int64(40 * time.Millisecond)
+	s.Registries[0].Hists[obs.HistCommit] = h
+	return s
+}
+
+func TestCollectMergeAndGates(t *testing.T) {
+	// Serve the server snapshot over HTTP; the client snapshot comes from
+	// a file, exercising both collection paths in one run.
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/debug/obs/snapshot" {
+			http.NotFound(w, r)
+			return
+		}
+		_ = export.Write(w, serverSnap())
+	}))
+	defer srv.Close()
+
+	dir := t.TempDir()
+	snapFile := filepath.Join(dir, "cli.snap")
+	f, err := os.Create(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := export.Write(f, clientSnap()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	traceFile := filepath.Join(dir, "fleet.json")
+	cpFile := filepath.Join(dir, "cp.txt")
+	var out bytes.Buffer
+	err = run([]string{
+		"-endpoints", strings.TrimPrefix(srv.URL, "http://"),
+		"-files", snapFile,
+		"-trace-out", traceFile,
+		"-critpath-out", cpFile,
+		"-require-cross-flows", "1",
+		"-require-network",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v\noutput:\n%s", err, out.String())
+	}
+
+	text := out.String()
+	for _, want := range []string{
+		"shored:srv", "shorecli:c", // both processes identified
+		"commits", // merged counter row
+		"1 cross-process span joins",
+		"network", // critpath phase table
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("report missing %q:\n%s", want, text)
+		}
+	}
+	// Fleet commits = 3+3; the per-process columns carry the split.
+	if !strings.Contains(text, "6") {
+		t.Errorf("fleet counter sum missing:\n%s", text)
+	}
+
+	// The merged trace must be valid Chrome JSON with a flow start ("s")
+	// and finish ("f") pair binding the two process lanes.
+	raw, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &parsed); err != nil {
+		t.Fatalf("merged trace is not valid JSON: %v", err)
+	}
+	var flowS, flowF, lanes int
+	for _, ev := range parsed.TraceEvents {
+		switch ev["ph"] {
+		case "s":
+			flowS++
+		case "f":
+			flowF++
+		case "M":
+			if ev["name"] == "process_name" {
+				lanes++
+			}
+		}
+	}
+	if flowS != 1 || flowF != 1 {
+		t.Errorf("flow events s=%d f=%d, want 1 and 1", flowS, flowF)
+	}
+	if lanes != 2 {
+		t.Errorf("process lanes = %d, want 2 (srv and c1)", lanes)
+	}
+
+	cp, err := os.ReadFile(cpFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(cp), "network") {
+		t.Errorf("critpath table missing network row:\n%s", cp)
+	}
+}
+
+func TestRequireCrossFlowsFails(t *testing.T) {
+	// Only the client snapshot: its RPC span has no recorded parent/child
+	// pair across processes, so the cross-flow gate must trip.
+	dir := t.TempDir()
+	snapFile := filepath.Join(dir, "cli.snap")
+	f, err := os.Create(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := export.Write(f, clientSnap()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	err = run([]string{"-files", snapFile, "-require-cross-flows", "1"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "cross-process span joins") {
+		t.Fatalf("gate did not trip: err=%v", err)
+	}
+}
+
+func TestCollectRejectsBadSnapshot(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"version": 99}`))
+	}))
+	defer srv.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-endpoints", strings.TrimPrefix(srv.URL, "http://")}, &out)
+	if err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad version accepted: err=%v", err)
+	}
+}
+
+func TestNoSources(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no sources accepted")
+	}
+}

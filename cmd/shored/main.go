@@ -21,7 +21,9 @@ import (
 	"expvar"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,7 +33,9 @@ import (
 	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/core"
 	"adaptivecc/internal/obs"
+	"adaptivecc/internal/obs/audit"
 	"adaptivecc/internal/obs/critpath"
+	"adaptivecc/internal/obs/export"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -62,7 +66,9 @@ func run(args []string) error {
 		batch      = fs.Bool("batch", false, "coalesce callback acks, release notices, and purges onto same-path messages")
 		groupCmt   = fs.Bool("groupcommit", false, "absorb concurrent WAL forces into shared disk writes")
 		obsOn      = fs.Bool("obs", false, "enable observability: latency histograms and trace rings")
-		metricsAt  = fs.String("metrics", "", "serve live metrics at this address (/metrics Prometheus text, /debug/vars expvar); implies -obs")
+		metricsAt  = fs.String("metrics", "", "serve live introspection at this address (/metrics Prometheus text, /debug/vars expvar, /debug/obs/snapshot, /debug/pprof); implies -obs")
+		metricsOut = fs.String("metrics-addr-file", "", "write the bound introspection address to this file (for -metrics :0)")
+		auditOn    = fs.Bool("audit", false, "attach the online consistency-invariant auditor; implies -obs")
 		traceOut   = fs.String("traceout", "", "write a Chrome trace-event JSON file on shutdown (open in Perfetto); implies -obs")
 		cpOut      = fs.String("critpath", "", "write the commit critical-path breakdown on shutdown; implies -obs")
 	)
@@ -73,8 +79,14 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown protocol %q (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)", *protoStr)
 	}
-	if *metricsAt != "" || *traceOut != "" || *cpOut != "" {
+	if *metricsAt != "" || *traceOut != "" || *cpOut != "" || *auditOn {
 		*obsOn = true
+	}
+	if *obsOn {
+		// Span ids ride protocol messages to other processes; namespace
+		// this process's allocator so a fleet collector can join
+		// cross-process parent/child spans without collisions.
+		obs.RandomizeSpanIDs()
 	}
 
 	costs := sim.DefaultCosts(0) // real wire: no simulated latency on top
@@ -99,6 +111,11 @@ func run(args []string) error {
 		GroupCommit:     *groupCmt,
 		Obs:             obs.Config{Enabled: *obsOn},
 		Transport:       transport.TCPFactory(transport.TCPOptions{ListenAddr: *addr}),
+	}
+	var auditor *audit.Auditor
+	if *auditOn {
+		auditor = audit.New()
+		cfg.Audit = auditor
 	}
 	sys, err := core.NewSystemFabric(cfg)
 	if err != nil {
@@ -129,13 +146,31 @@ func run(args []string) error {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", obs.MetricsHandler())
 		mux.Handle("/debug/vars", expvar.Handler())
-		hs := &http.Server{Addr: *metricsAt, Handler: mux}
+		mux.Handle("/debug/obs/snapshot", export.Handler(sys.Obs(), "shored:"+*name, auditor))
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		// Listen explicitly (rather than ListenAndServe) so ":0" works
+		// and the bound address can be written for collectors to find.
+		mln, err := net.Listen("tcp", *metricsAt)
+		if err != nil {
+			return fmt.Errorf("metrics listen %s: %w", *metricsAt, err)
+		}
+		if *metricsOut != "" {
+			if err := os.WriteFile(*metricsOut, []byte(mln.Addr().String()), 0o644); err != nil {
+				return fmt.Errorf("metrics-addr-file: %w", err)
+			}
+		}
+		hs := &http.Server{Handler: mux}
 		go func() {
-			if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+			if err := hs.Serve(mln); err != nil && err != http.ErrServerClosed {
 				fmt.Fprintln(os.Stderr, "shored: metrics server:", err)
 			}
 		}()
-		fmt.Printf("shored: metrics at http://%s/metrics (Prometheus) and /debug/vars (expvar)\n", *metricsAt)
+		fmt.Printf("shored: introspection at http://%s/metrics, /debug/vars, /debug/obs/snapshot, /debug/pprof\n",
+			mln.Addr().String())
 	}
 
 	sig := make(chan os.Signal, 1)
@@ -148,6 +183,12 @@ func run(args []string) error {
 	// every acknowledged commit stable before the process exits.
 	sys.Close()
 	srv.ForceWAL()
+	if auditor != nil {
+		auditor.Sweep() // quiesced: the confirmation passes are exact
+		if auditor.Total() > 0 {
+			fmt.Print(auditor.Report())
+		}
+	}
 	if set := sys.Obs(); set != nil {
 		if *traceOut != "" {
 			if err := writeTrace(*traceOut, set); err != nil {

@@ -268,6 +268,13 @@ func NewSystemFabric(cfg Config) (*System, error) {
 	if cfg.Obs.Enabled {
 		s.obsSet = obs.NewSet(cfg.Obs, stats)
 		obs.RegisterSet(s.obsSet, cfg.Protocol.String())
+		// The Factory signature predates observability, so the fabric is
+		// built before the Set exists; fabrics that can self-instrument
+		// (the TCP transport's per-path frame/backoff histograms and
+		// queue-depth gauges) attach here.
+		if ao, ok := net.(interface{ AttachObs(*obs.Set) }); ok {
+			ao.AttachObs(s.obsSet)
+		}
 	}
 	return s, nil
 }

@@ -95,6 +95,34 @@ func TestEveryCounterReferencedByProtocolCode(t *testing.T) {
 	}
 }
 
+// TestCanonicalCountersComplete cross-checks sim.CanonicalCounters against
+// the parsed constant block: the metrics surface seeds its exposition from
+// that list, so a counter declared but not listed would be invisible on a
+// fresh scrape (and vice versa, a stale entry would export a series no
+// code can drive).
+func TestCanonicalCountersComplete(t *testing.T) {
+	consts := declaredCounters(t)
+	canon := make(map[string]bool, len(sim.CanonicalCounters))
+	for _, name := range sim.CanonicalCounters {
+		if canon[name] {
+			t.Errorf("CanonicalCounters lists %q twice", name)
+		}
+		canon[name] = true
+	}
+	declared := make(map[string]bool, len(consts))
+	for cname, counter := range consts {
+		declared[counter] = true
+		if !canon[counter] {
+			t.Errorf("counter %s (%q) declared in stats.go but missing from sim.CanonicalCounters", cname, counter)
+		}
+	}
+	for name := range canon {
+		if !declared[name] {
+			t.Errorf("CanonicalCounters entry %q has no Ctr constant in stats.go", name)
+		}
+	}
+}
+
 // waitForCounter polls until the named counter moves past min, failing the
 // test at the deadline. The scenarios below use it to sequence cross-peer
 // schedules on protocol-internal events.
@@ -131,6 +159,7 @@ func TestCounterCompleteness(t *testing.T) {
 	scenarioAdvisor(t, add)
 	scenarioBatching(t, add)
 	scenarioTCP(t, add)
+	scenarioDetach(t, add)
 
 	for cname, counter := range declaredCounters(t) {
 		if union[counter] == 0 {
@@ -488,6 +517,31 @@ func scenarioBatching(t *testing.T, add func(*sim.Stats)) {
 	}
 	if stats.Get(sim.CtrWALGroupJoins) == 0 {
 		t.Error("concurrent forces never shared a group-commit disk write")
+	}
+	add(stats)
+}
+
+// scenarioDetach gracefully detaches a client that cached several pages:
+// the evictions queue purge notices, the detach flushes them to the owner,
+// and the purge lifecycle counters balance — every notice sent is applied
+// exactly once.
+func scenarioDetach(t *testing.T, add func(*sim.Stats)) {
+	tc := newCluster(t, PSAA, 2, 8)
+	a := tc.clients[0]
+	for pg := uint32(0); pg < 4; pg++ {
+		x := a.Begin()
+		readVal(t, x, objID(pg, 0))
+		mustCommit(t, x)
+	}
+	stats := tc.sys.Stats()
+	a.Detach()
+	waitForCounter(t, stats, sim.CtrPurgeSent, 4, 5*time.Second)
+	sent := stats.Get(sim.CtrPurgeSent)
+	// The flush is fire-and-forget; the owner applies asynchronously but
+	// must catch up to everything sent.
+	waitForCounter(t, stats, sim.CtrPurgeApplied, sent, 5*time.Second)
+	if applied := stats.Get(sim.CtrPurgeApplied); applied != sent {
+		t.Errorf("purge notices applied=%d > sent=%d after detach", applied, sent)
 	}
 	add(stats)
 }

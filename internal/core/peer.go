@@ -152,6 +152,15 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 	if s.obsSet != nil {
 		p.obs = s.obsSet.NewRegistry(name)
 		p.locks.SetObs(p.obs)
+		// Outstanding callback rounds, sampled live: a gracefully
+		// detached fleet must read zero here (e2e asserts it).
+		s.obsSet.RegisterGauge("callback_rounds_outstanding",
+			map[string]string{"peer": name}, func() int64 {
+				p.mu.Lock()
+				n := len(p.cbOps)
+				p.mu.Unlock()
+				return int64(n)
+			})
 	}
 	if cfg.Batch {
 		p.outbox = newOutbox(cfg.BatchFlushDelay, s.stats, p.flushCoalesced)
@@ -170,6 +179,11 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 		p.slog = wal.NewStableLog(logDisk)
 		if cfg.GroupCommit {
 			p.slog.EnableGroupCommit(cfg.GroupCommitWindow, s.stats)
+			if p.obs.Active() {
+				p.slog.SetForceObserver(func(cohort int) {
+					p.obs.ObserveValue(obs.HistWALBatch, int64(cohort))
+				})
+			}
 		}
 	}
 	return p
@@ -461,8 +475,12 @@ func (p *Peer) call(dest string, sc obs.SpanContext, body any) (any, error) {
 	if p.obs.Active() {
 		rsc = p.obs.StartSpan("", sc)
 	}
+	pig := p.cs.takePurges(dest)
+	if len(pig) > 0 {
+		p.stats.Add(sim.CtrPurgeSent, int64(len(pig)))
+	}
 	env := getEnvelope()
-	*env = rpcEnvelope{ReqID: id, From: p.name, Span: rsc, Pig: p.cs.takePurges(dest), Body: body}
+	*env = rpcEnvelope{ReqID: id, From: p.name, Span: rsc, Pig: pig, Body: body}
 	batch := 0
 	if p.outbox != nil {
 		env.Acks, env.Rels = p.outbox.take(dest)
@@ -548,6 +566,7 @@ func (p *Peer) flushPurges(owner string) {
 	if len(pig) == 0 {
 		return
 	}
+	p.stats.Add(sim.CtrPurgeSent, int64(len(pig)))
 	// Under resilience the flush carries a real ReqID so a duplicated
 	// delivery is suppressed by the owner's dedup table (re-applying a
 	// notice would double-count installs and re-redo log records).
@@ -585,6 +604,9 @@ func (p *Peer) flushCoalesced(dest string) {
 	if len(acks) == 0 && len(rels) == 0 && len(pig) == 0 {
 		return
 	}
+	if len(pig) > 0 {
+		p.stats.Add(sim.CtrPurgeSent, int64(len(pig)))
+	}
 	env := getEnvelope()
 	*env = rpcEnvelope{ReqID: p.flushReqID(), From: p.name, Pig: pig, Acks: acks, Rels: rels}
 	err := p.sendFF(transport.Message{
@@ -600,6 +622,9 @@ func (p *Peer) flushCoalesced(dest string) {
 // copy table entries (detecting purge races via install counts), replicate
 // the local locks the client reported, and redo any early-shipped records.
 func (p *Peer) processPiggyback(from string, pig []purgeNotice) {
+	if len(pig) > 0 {
+		p.stats.Add(sim.CtrPurgeApplied, int64(len(pig)))
+	}
 	for _, n := range pig {
 		if !p.ct.removeCopy(n.Page, from, n.Install) {
 			if p.ct.hasCopy(n.Page, from) {

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"adaptivecc/internal/sim"
 )
 
 // The gatherer tracks every live Set so the metrics surface can serve
@@ -78,9 +80,16 @@ func MetricsHandler() http.Handler {
 func WritePrometheus(b *strings.Builder) {
 	sets := registeredSets()
 
-	// Counters: union of names across sets, sorted, zero included so the
-	// series set is stable across scrapes.
+	// Counters: the canonical set plus the union of names across sets,
+	// sorted, zero included. Seeding with sim.CanonicalCounters makes
+	// every protocol series (tcp_conns, tcp_reconnects, the crash/net
+	// drop split, ...) exist at zero from the very first scrape, before
+	// any code path has touched it — rate() and absent() behave sanely
+	// on a freshly started server.
 	names := map[string]bool{}
+	for _, k := range sim.CanonicalCounters {
+		names[k] = true
+	}
 	snaps := make([]map[string]int64, len(sets))
 	for i, ls := range sets {
 		snaps[i] = ls.set.Stats().Snapshot()
@@ -100,8 +109,54 @@ func WritePrometheus(b *strings.Builder) {
 		}
 	}
 
+	// Gauges: registered per-Set callbacks (queue depths, outstanding
+	// rounds). Sampled at scrape time; series order follows the
+	// deterministic gauge key order inside each set.
+	type gaugeSeries struct {
+		name   string
+		system string
+		labels string // pre-rendered ",k=\"v\"..." suffix
+		value  int64
+	}
+	byName := map[string][]gaugeSeries{}
+	gaugeNames := []string{}
+	for _, ls := range sets {
+		for _, gv := range ls.set.GaugeValues() {
+			var lb strings.Builder
+			keys := make([]string, 0, len(gv.Labels))
+			for k := range gv.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&lb, ",%s=%q", k, gv.Labels[k])
+			}
+			if _, ok := byName[gv.Name]; !ok {
+				gaugeNames = append(gaugeNames, gv.Name)
+			}
+			byName[gv.Name] = append(byName[gv.Name], gaugeSeries{
+				name: gv.Name, system: ls.label, labels: lb.String(), value: gv.Value,
+			})
+		}
+	}
+	sort.Strings(gaugeNames)
+	for _, name := range gaugeNames {
+		fmt.Fprintf(b, "# TYPE adaptivecc_%s gauge\n", name)
+		for _, gs := range byName[name] {
+			fmt.Fprintf(b, "adaptivecc_%s{system=%q%s} %d\n", name, gs.system, gs.labels, gs.value)
+		}
+	}
+
 	for id := HistID(0); id < NumHists; id++ {
-		metric := "adaptivecc_" + id.MetricName() + "_seconds"
+		// Seconds histograms carry a _seconds suffix and seconds-valued
+		// le bounds; bytes/count histograms already name their unit
+		// (tcp_frame_bytes, wal_group_batch_size) and use the raw
+		// integer magnitudes the buckets were fed with.
+		metric := "adaptivecc_" + id.MetricName()
+		seconds := id.Unit() == UnitSeconds
+		if seconds {
+			metric += "_seconds"
+		}
 		fmt.Fprintf(b, "# TYPE %s histogram\n", metric)
 		for _, ls := range sets {
 			h := ls.set.Merged(id)
@@ -112,17 +167,24 @@ func WritePrometheus(b *strings.Builder) {
 					continue // keep the output compact; cumulative counts stay correct
 				}
 				fmt.Fprintf(b, "%s_bucket{system=%q,le=%q} %d\n",
-					metric, ls.label, formatLe(BucketBound(i)), cum)
+					metric, ls.label, formatLe(BucketBound(i), seconds), cum)
 			}
 			fmt.Fprintf(b, "%s_bucket{system=%q,le=\"+Inf\"} %d\n", metric, ls.label, h.Count)
-			fmt.Fprintf(b, "%s_sum{system=%q} %g\n", metric, ls.label, time.Duration(h.Sum).Seconds())
+			if seconds {
+				fmt.Fprintf(b, "%s_sum{system=%q} %g\n", metric, ls.label, time.Duration(h.Sum).Seconds())
+			} else {
+				fmt.Fprintf(b, "%s_sum{system=%q} %d\n", metric, ls.label, h.Sum)
+			}
 			fmt.Fprintf(b, "%s_count{system=%q} %d\n", metric, ls.label, h.Count)
 		}
 	}
 }
 
-func formatLe(d time.Duration) string {
-	return fmt.Sprintf("%g", d.Seconds())
+func formatLe(d time.Duration, seconds bool) string {
+	if seconds {
+		return fmt.Sprintf("%g", d.Seconds())
+	}
+	return fmt.Sprintf("%d", int64(d))
 }
 
 var expvarOnce sync.Once
@@ -140,14 +202,37 @@ func PublishExpvar() {
 				hists := make(map[string]any)
 				for id := HistID(0); id < NumHists; id++ {
 					h := ls.set.Merged(id)
-					hists[id.MetricName()] = map[string]any{
-						"count":  h.Count,
-						"p50_ms": float64(h.Quantile(0.50)) / float64(time.Millisecond),
-						"p90_ms": float64(h.Quantile(0.90)) / float64(time.Millisecond),
-						"p99_ms": float64(h.Quantile(0.99)) / float64(time.Millisecond),
+					if id.Unit() == UnitSeconds {
+						hists[id.MetricName()] = map[string]any{
+							"count":  h.Count,
+							"p50_ms": float64(h.Quantile(0.50)) / float64(time.Millisecond),
+							"p90_ms": float64(h.Quantile(0.90)) / float64(time.Millisecond),
+							"p99_ms": float64(h.Quantile(0.99)) / float64(time.Millisecond),
+						}
+					} else {
+						hists[id.MetricName()] = map[string]any{
+							"count": h.Count,
+							"p50":   int64(h.Quantile(0.50)),
+							"p90":   int64(h.Quantile(0.90)),
+							"p99":   int64(h.Quantile(0.99)),
+						}
 					}
 				}
 				sys["latency"] = hists
+				gauges := make(map[string]int64)
+				for _, gv := range ls.set.GaugeValues() {
+					key := gv.Name
+					keys := make([]string, 0, len(gv.Labels))
+					for k := range gv.Labels {
+						keys = append(keys, k)
+					}
+					sort.Strings(keys)
+					for _, k := range keys {
+						key += "," + k + "=" + gv.Labels[k]
+					}
+					gauges[key] = gv.Value
+				}
+				sys["gauges"] = gauges
 				sys["trace_dropped"] = ls.set.DroppedEvents()
 				out[ls.label] = sys
 			}

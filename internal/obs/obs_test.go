@@ -157,6 +157,29 @@ func TestPrometheusExposition(t *testing.T) {
 		t.Error("missing histogram count")
 	}
 
+	// Every canonical counter is present from the first scrape, even at
+	// zero — the TCP lifecycle series and the crash/net drop split must
+	// exist on a freshly started server.
+	for _, name := range []string{
+		sim.CtrTCPConns, sim.CtrTCPReconnects, sim.CtrNetDrops, sim.CtrCrashDrops,
+	} {
+		if !strings.Contains(out, "adaptivecc_"+name+"_total") {
+			t.Errorf("canonical counter %s missing from fresh exposition", name)
+		}
+	}
+
+	// Non-duration histograms export without a _seconds suffix and with
+	// raw-integer bucket bounds.
+	if !strings.Contains(out, "adaptivecc_tcp_frame_bytes_bucket") {
+		t.Error("missing byte-unit histogram series")
+	}
+	if strings.Contains(out, "adaptivecc_tcp_frame_bytes_seconds") {
+		t.Error("byte-unit histogram wrongly suffixed _seconds")
+	}
+	if !strings.Contains(out, "adaptivecc_wal_group_batch_size_bucket") {
+		t.Error("missing count-unit histogram series")
+	}
+
 	// Deterministic: two renders are identical.
 	var b2 strings.Builder
 	WritePrometheus(&b2)
@@ -190,5 +213,55 @@ func TestLoggerLeveling(t *testing.T) {
 	out := buf.String()
 	if !strings.Contains(out, "visible") || !strings.Contains(out, "site=srv") {
 		t.Fatalf("structured record missing fields: %q", out)
+	}
+}
+
+func TestGaugeExposition(t *testing.T) {
+	set := NewSet(Config{Enabled: true}, sim.NewStats())
+	set.RegisterGauge("tcp_queue_depth", map[string]string{"link": "a->b", "path": "0"}, func() int64 { return 3 })
+	set.RegisterGauge("callback_rounds_outstanding", map[string]string{"peer": "srv"}, func() int64 { return 0 })
+	RegisterSet(set, "gauges")
+	defer UnregisterSet(set)
+
+	var b strings.Builder
+	WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, "# TYPE adaptivecc_tcp_queue_depth gauge") {
+		t.Error("missing gauge TYPE line")
+	}
+	if !strings.Contains(out, `link="a->b"`) || !strings.Contains(out, `path="0"`) {
+		t.Error("gauge labels not rendered")
+	}
+	if !strings.Contains(out, `peer="srv"`) {
+		t.Error("second gauge missing")
+	}
+
+	vals := set.GaugeValues()
+	if len(vals) != 2 {
+		t.Fatalf("GaugeValues = %d entries, want 2", len(vals))
+	}
+	// Sorted by identity: callback_rounds... before tcp_queue_depth.
+	if vals[0].Name != "callback_rounds_outstanding" || vals[1].Value != 3 {
+		t.Errorf("gauge order/values wrong: %+v", vals)
+	}
+}
+
+func TestSpanIDNamespacing(t *testing.T) {
+	defer SeedSpanIDs(0) // restore the default allocator for other tests
+
+	SeedSpanIDs(5)
+	sc := NewSpan("t1", SpanContext{})
+	if sc.Span != 5<<32+1 {
+		t.Errorf("namespaced span id = %d, want %d", sc.Span, uint64(5)<<32+1)
+	}
+	SeedSpanIDs(6)
+	sc2 := NewSpan("t2", SpanContext{})
+	if sc2.Span>>32 != 6 {
+		t.Errorf("span id %d not in namespace 6", sc2.Span)
+	}
+	ns := RandomizeSpanIDs()
+	sc3 := NewSpan("t3", SpanContext{})
+	if sc3.Span>>32 != uint64(ns) {
+		t.Errorf("randomized span id %d not in returned namespace %d", sc3.Span, ns)
 	}
 }

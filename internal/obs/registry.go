@@ -34,14 +34,33 @@ type Config struct {
 // HistID names one of the tracked latency histograms.
 type HistID int
 
-// The histograms recorded by the protocol layers.
+// The histograms recorded by the protocol layers. The first block is
+// duration-valued (paper-time latencies); the trailing entries carry
+// non-time units (bytes, counts) encoded in the same fixed-bucket
+// mechanics — see Unit.
 const (
 	HistLockWait      HistID = iota // blocked lock-request wait time
 	HistCallbackRound               // server-side callback round duration
 	HistRPC                         // request/reply round trip
 	HistDiskIO                      // page read/write and log force
 	HistCommit                      // Tx.Commit total duration
+	HistTCPFrameWrite               // one frame write onto a TCP socket
+	HistTCPBackoff                  // one reconnect-backoff sleep of a path keeper
+	HistTCPFrameSize                // encoded frame payload size (bytes)
+	HistWALBatch                    // group-commit batch size (forces per disk write)
 	NumHists
+)
+
+// Unit is the value domain of a histogram: durations are recorded in
+// paper-time nanoseconds, the rest as raw integer magnitudes reinterpreted
+// through the same log-spaced buckets (bucket bounds read as plain counts).
+type Unit int
+
+// The histogram units.
+const (
+	UnitSeconds Unit = iota // time.Duration observations, exported in seconds
+	UnitBytes               // byte counts (frame sizes)
+	UnitCount               // plain counts (batch cohort sizes)
 )
 
 // MetricName is the Prometheus-style base name of the histogram.
@@ -57,8 +76,28 @@ func (h HistID) MetricName() string {
 		return "disk_io"
 	case HistCommit:
 		return "commit"
+	case HistTCPFrameWrite:
+		return "tcp_frame_write"
+	case HistTCPBackoff:
+		return "tcp_reconnect_backoff"
+	case HistTCPFrameSize:
+		return "tcp_frame_bytes"
+	case HistWALBatch:
+		return "wal_group_batch_size"
 	default:
 		return "unknown"
+	}
+}
+
+// Unit reports the histogram's value domain.
+func (h HistID) Unit() Unit {
+	switch h {
+	case HistTCPFrameSize:
+		return UnitBytes
+	case HistWALBatch:
+		return UnitCount
+	default:
+		return UnitSeconds
 	}
 }
 
@@ -112,12 +151,24 @@ func (r *Registry) Now() time.Duration {
 }
 
 // Observe records a wall-clock duration into a histogram, converted to
-// paper time. No-op when inactive.
+// paper time. No-op when inactive. Non-duration histograms (Unit !=
+// UnitSeconds) record their magnitude untouched: a byte count or a batch
+// size is the same number at every time scale.
 func (r *Registry) Observe(id HistID, wall time.Duration) {
 	if !r.Active() {
 		return
 	}
-	r.hists[id].Observe(r.simDur(wall))
+	if id.Unit() == UnitSeconds {
+		wall = r.simDur(wall)
+	}
+	r.hists[id].Observe(wall)
+}
+
+// ObserveValue records a unitless magnitude (bytes, counts) into a
+// non-duration histogram. Equivalent to Observe with the value cast to a
+// Duration; provided so call sites don't cast by hand.
+func (r *Registry) ObserveValue(id HistID, v int64) {
+	r.Observe(id, time.Duration(v))
 }
 
 // StartSpan allocates a child span of parent for work about to happen at
@@ -188,16 +239,34 @@ func (r *Registry) Dropped() uint64 {
 	return r.ring.Dropped()
 }
 
+// GaugeValue is one sampled gauge: a live quantity (queue depth,
+// outstanding callback rounds) read at snapshot time through its
+// registered closure.
+type GaugeValue struct {
+	Name   string
+	Labels map[string]string
+	Value  int64
+}
+
+// gauge pairs a gauge's identity with its sampling closure.
+type gauge struct {
+	name   string
+	labels map[string]string
+	key    string // deterministic sort key: name + rendered labels
+	fn     func() int64
+}
+
 // Set is one system's observability state: the per-peer registries, a
-// shared epoch, and the system's sim.Stats counters — the unified view
-// served by the metrics surface.
+// shared epoch, registered gauges, and the system's sim.Stats counters —
+// the unified view served by the metrics surface.
 type Set struct {
 	cfg   Config
 	stats *sim.Stats
 	start time.Time
 
-	mu   sync.Mutex
-	regs []*Registry
+	mu     sync.Mutex
+	regs   []*Registry
+	gauges []gauge
 }
 
 // NewSet builds the observability state for one system. stats may be nil.
@@ -214,6 +283,56 @@ func NewSet(cfg Config, stats *sim.Stats) *Set {
 // Stats exposes the counter set this Set reports alongside its histograms.
 func (s *Set) Stats() *sim.Stats { return s.stats }
 
+// Epoch reports the wall-clock instant of the Set's paper-time zero. The
+// snapshot exporter ships it so a collector can re-base trace timestamps
+// from several processes onto one fleet-wide axis.
+func (s *Set) Epoch() time.Time { return s.start }
+
+// TimeScale reports the configured paper-time scale (0 = wall time).
+func (s *Set) TimeScale() float64 { return s.cfg.TimeScale }
+
+// RegisterGauge attaches a live-sampled gauge to the Set. fn is invoked on
+// every metrics scrape and snapshot capture (possibly concurrently with
+// the system), so it must be cheap and thread-safe. Labels distinguish
+// instances of the same metric (per peer, per link path).
+func (s *Set) RegisterGauge(name string, labels map[string]string, fn func() int64) {
+	g := gauge{name: name, labels: labels, key: gaugeKey(name, labels), fn: fn}
+	s.mu.Lock()
+	s.gauges = append(s.gauges, g)
+	s.mu.Unlock()
+}
+
+// gaugeKey renders a deterministic identity for sorting and display.
+func gaugeKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := name
+	for _, k := range keys {
+		out += "," + k + "=" + labels[k]
+	}
+	return out
+}
+
+// GaugeValues samples every registered gauge, sorted by identity for
+// deterministic exposition.
+func (s *Set) GaugeValues() []GaugeValue {
+	s.mu.Lock()
+	gs := append([]gauge(nil), s.gauges...)
+	s.mu.Unlock()
+	sort.Slice(gs, func(i, j int) bool { return gs[i].key < gs[j].key })
+	out := make([]GaugeValue, len(gs))
+	for i, g := range gs {
+		out[i] = GaugeValue{Name: g.name, Labels: g.labels, Value: g.fn()}
+	}
+	return out
+}
+
 // Now reports the current paper time since the Set's epoch — the same
 // clock its registries stamp events with. The harness uses it to window
 // trace events to one measurement interval.
@@ -228,7 +347,17 @@ func (s *Set) Now() time.Duration {
 // NewRegistry creates (and retains) the registry for one peer. All of a
 // Set's registries share its epoch, so their trace timestamps align.
 func (s *Set) NewRegistry(site string) *Registry {
-	r := &Registry{site: site, scale: s.cfg.TimeScale, start: s.start, ring: newTraceRing(s.cfg.TraceCap), sink: s.cfg.Sink}
+	return s.NewRegistryCap(site, s.cfg.TraceCap)
+}
+
+// NewRegistryCap is NewRegistry with an explicit trace-ring capacity; the
+// transport uses a minimal ring for its per-path registries, which record
+// histograms but never emit events.
+func (s *Set) NewRegistryCap(site string, traceCap int) *Registry {
+	if traceCap <= 0 {
+		traceCap = s.cfg.TraceCap
+	}
+	r := &Registry{site: site, scale: s.cfg.TimeScale, start: s.start, ring: newTraceRing(traceCap), sink: s.cfg.Sink}
 	r.enabled.Store(true)
 	s.mu.Lock()
 	s.regs = append(s.regs, r)

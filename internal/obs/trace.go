@@ -1,6 +1,8 @@
 package obs
 
 import (
+	cryptorand "crypto/rand"
+	"encoding/binary"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -128,6 +130,36 @@ type SpanContext struct {
 
 // spanIDs is the process-wide span id allocator.
 var spanIDs atomic.Uint64
+
+// SeedSpanIDs namespaces this process's span ids: the allocator restarts
+// at ns<<32, so two processes seeded with distinct namespaces can mint up
+// to 2³² spans each without ever colliding. Span contexts ride protocol
+// messages across address spaces (rpcEnvelope.Span, callbackReq.Span) and
+// the fleet collector joins children to parents purely by id, so every
+// process of a multi-process deployment MUST seed a distinct namespace
+// before emitting its first span — shored and shorecli do this at startup
+// via RandomizeSpanIDs. In-process systems need no seeding: one allocator
+// already serves every site.
+func SeedSpanIDs(ns uint32) {
+	spanIDs.Store(uint64(ns) << 32)
+}
+
+// RandomizeSpanIDs seeds the span-id namespace with cryptographically
+// random bits, making cross-process collisions vanishingly unlikely
+// without any coordination. Returns the chosen namespace.
+func RandomizeSpanIDs() uint32 {
+	var b [4]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// No entropy source: fall back to the wall clock. Still unique
+		// across processes started more than a nanosecond apart.
+		ns := uint32(time.Now().UnixNano())
+		SeedSpanIDs(ns)
+		return ns
+	}
+	ns := binary.LittleEndian.Uint32(b[:])
+	SeedSpanIDs(ns)
+	return ns
+}
 
 // NewSpan allocates a child span of parent. trace overrides the trace
 // identity; when empty the parent's is inherited. Unlike

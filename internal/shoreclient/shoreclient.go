@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"adaptivecc/internal/core"
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -54,6 +55,10 @@ type Options struct {
 	// BatchFlushDelay bounds a coalesced notice's wait (default 2ms when
 	// Batch is set).
 	BatchFlushDelay time.Duration
+	// Obs enables the observability subsystem on the client-side system:
+	// latency histograms, trace rings, and the TCP fabric's per-path
+	// telemetry, all reachable through System().Obs() for snapshot export.
+	Obs bool
 }
 
 func (o Options) withDefaults() Options {
@@ -117,6 +122,7 @@ func Connect(opts Options) (*Client, error) {
 		RPCTimeout:      opts.RPCTimeout,
 		Batch:           opts.Batch,
 		BatchFlushDelay: opts.BatchFlushDelay,
+		Obs:             obs.Config{Enabled: opts.Obs},
 		Transport: transport.TCPFactory(transport.TCPOptions{
 			Remotes: map[string]string{opts.ServerName: opts.Addr},
 		}),

@@ -71,7 +71,37 @@ const (
 	CtrAdvisorEscSuppressed   = "advisor_esc_suppressed"   // adaptive grants suppressed by deescalation history
 	CtrAdvisorObjectGrainCB   = "advisor_object_callbacks" // callback ops demoted to object grain by history
 	CtrAdvisorPageGrainWrites = "advisor_page_writes"      // writes upgraded to page grain by a quiet-streak
+
+	// Purge-notice lifecycle (internal/core). A graceful detach balances:
+	// every notice a client attaches to an outgoing message is applied
+	// exactly once at the owner (dedup suppresses retried duplicates).
+	CtrPurgeSent    = "purge_notices_sent"    // purge notices attached to outgoing messages
+	CtrPurgeApplied = "purge_notices_applied" // purge notices applied at the owner
 )
+
+// CanonicalCounters lists every canonical counter name above. The metrics
+// surface seeds its exposition with this list so each series exists (at
+// zero) from the first scrape, before any code path touches it — the TCP
+// lifecycle counters and the crash/net drop split in particular must be
+// present on a freshly started server. counters_test.go in internal/core
+// cross-checks this list against the constant block, so a new counter
+// cannot be declared without joining it.
+var CanonicalCounters = []string{
+	CtrMessages, CtrPageTransfers, CtrReadRequests, CtrWriteRequests,
+	CtrCallbacks, CtrCallbackBlocked, CtrCallbackRaces, CtrPurgeRaces,
+	CtrDeescalations, CtrAdaptiveGrants, CtrDiskReads, CtrDiskWrites,
+	CtrCommits, CtrAborts, CtrDeadlockAborts, CtrTimeoutAborts,
+	CtrLockWaits, CtrCallbackRounds, CtrLogRecords, CtrRedoPageReads,
+	CtrObjectReads, CtrObjectWrites, CtrLocalHits, CtrEscalationSaved,
+	CtrNetDrops, CtrWriteBackErrors, CtrRetries, CtrTimeoutsFired,
+	CtrDupSuppressed, CtrCrashRecoveries, CtrFaultDrops, CtrFaultDups,
+	CtrFaultDelays, CtrCrashDrops,
+	CtrOutboxAcks, CtrOutboxReleases, CtrOutboxCarried, CtrOutboxFlushes,
+	CtrWALGroupForces, CtrWALGroupJoins,
+	CtrTCPConns, CtrTCPReconnects,
+	CtrAdvisorEscSuppressed, CtrAdvisorObjectGrainCB, CtrAdvisorPageGrainWrites,
+	CtrPurgeSent, CtrPurgeApplied,
+}
 
 // NewStats returns an empty counter set.
 func NewStats() *Stats {

@@ -32,9 +32,12 @@ import (
 	"fmt"
 	"math/rand"
 	"net"
+	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 )
 
@@ -110,6 +113,7 @@ type TCP struct {
 	nodes  map[string]*node
 	links  map[linkKey][]*tcpPath
 	conns  map[net.Conn]linkKey // every live socket end and the link it serves
+	obsSet *obs.Set             // nil until AttachObs; guarded by mu
 	closed bool
 }
 
@@ -121,6 +125,7 @@ type tcpPath struct {
 	idx     int
 	out     chan Message
 	drained chan struct{} // closed when the writer has exited
+	reg     atomic.Pointer[obs.Registry]
 
 	connMu sync.Mutex
 	conn   net.Conn
@@ -169,6 +174,43 @@ func TCPFactory(opts TCPOptions) Factory {
 
 // Addr reports the listener's bound address (useful with ListenAddr ":0").
 func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// AttachObs hooks the fabric into a system's observability Set: every
+// path (existing and future) gets a per-path registry recording frame
+// sizes, frame write latency, and reconnect-backoff sleeps, plus an
+// outbound queue-depth gauge. Core calls this right after building the
+// Set — the Factory signature predates observability, so the fabric is
+// constructed first and instrumented second. Idempotent per path; nil
+// set is a no-op.
+func (t *TCP) AttachObs(set *obs.Set) {
+	if set == nil {
+		return
+	}
+	t.mu.Lock()
+	t.obsSet = set
+	var all []*tcpPath
+	for _, l := range t.links {
+		all = append(all, l...)
+	}
+	t.mu.Unlock()
+	for _, p := range all {
+		p.instrument(set)
+	}
+}
+
+// instrument attaches this path's observability handle: a registry with a
+// minimal trace ring (path registries record histograms, never events)
+// and a queue-depth gauge sampled at scrape time.
+func (p *tcpPath) instrument(set *obs.Set) {
+	if set == nil || p.reg.Load() != nil {
+		return
+	}
+	site := fmt.Sprintf("tcp:%s->%s#%d", p.key.from, p.key.to, p.idx)
+	p.reg.Store(set.NewRegistryCap(site, 1))
+	set.RegisterGauge("tcp_queue_depth",
+		map[string]string{"link": p.key.from + "->" + p.key.to, "path": strconv.Itoa(p.idx)},
+		func() int64 { return int64(len(p.out)) })
+}
 
 // Register attaches a local endpoint, as on the simulated Network.
 func (t *TCP) Register(name string, cpu *sim.Resource, handler Handler) error {
@@ -228,6 +270,7 @@ func (t *TCP) pathsFor(key linkKey, mustRoute bool) ([]*tcpPath, error) {
 			downCh:  make(chan struct{}, 1),
 		}
 		ps[i] = p
+		p.instrument(t.obsSet)
 		go p.writeLoop()
 		if addr != "" {
 			t.loopWG.Add(1)
@@ -532,6 +575,7 @@ func (t *TCP) keep(p *tcpPath, addr string) {
 		}
 		c, err := t.dialPath(p, addr)
 		if err != nil {
+			p.reg.Load().Observe(obs.HistTCPBackoff, backoff)
 			select {
 			case <-time.After(backoff):
 			case <-t.stopCh:
@@ -791,6 +835,16 @@ func (p *tcpPath) ship(msg Message) {
 		return
 	}
 	_ = conn.SetWriteDeadline(time.Now().Add(t.opts.WriteTimeout))
+	if reg := p.reg.Load(); reg.Active() {
+		reg.ObserveValue(obs.HistTCPFrameSize, int64(len(payload)))
+		start := time.Now()
+		err := writeFrame(conn, payload)
+		reg.Observe(obs.HistTCPFrameWrite, time.Since(start))
+		if err != nil {
+			t.dropConn(conn)
+		}
+		return
+	}
 	if err := writeFrame(conn, payload); err != nil {
 		t.dropConn(conn)
 	}

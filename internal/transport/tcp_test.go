@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 )
 
@@ -263,4 +264,98 @@ func TestTCPFaultDecisionsMatchNetwork(t *testing.T) {
 	if netDrops == 0 {
 		t.Error("fault plan injected no drops; test is vacuous")
 	}
+}
+
+// TestTCPObsInstrumentation attaches an obs Set to a loopback fabric and
+// checks the per-path telemetry: frame-size and frame-write histograms
+// fill on traffic, and every path exports a queue-depth gauge.
+func TestTCPObsInstrumentation(t *testing.T) {
+	tc, stats := newTestTCP(t, 2)
+	set := obs.NewSet(obs.Config{Enabled: true, TraceCap: 8}, stats)
+	tc.AttachObs(set)
+
+	got := make(chan Message, 8)
+	registerTCP(t, tc, "a", func(Message) {})
+	registerTCP(t, tc, "b", func(m Message) { got <- m })
+	for i := 0; i < 4; i++ {
+		if err := tc.Send(Message{From: "a", To: "b", Kind: "ping", Payload: tcpTestPayload{V: i}}, AnyPath); err != nil {
+			t.Fatal(err)
+		}
+		<-got
+	}
+
+	fs := set.Merged(obs.HistTCPFrameSize)
+	if fs.Count != 4 {
+		t.Errorf("frame-size observations = %d, want 4", fs.Count)
+	}
+	if fs.Sum <= 0 {
+		t.Errorf("frame-size sum = %d, want > 0 (raw bytes)", fs.Sum)
+	}
+	if fw := set.Merged(obs.HistTCPFrameWrite); fw.Count != 4 {
+		t.Errorf("frame-write observations = %d, want 4", fw.Count)
+	}
+
+	depth := 0
+	for _, gv := range set.GaugeValues() {
+		if gv.Name == "tcp_queue_depth" {
+			depth++
+			if gv.Labels["link"] == "" || gv.Labels["path"] == "" {
+				t.Errorf("queue gauge missing labels: %+v", gv)
+			}
+		}
+	}
+	// One gauge per path of the a->b link; the reverse link is accept-fed
+	// and also instrumented once created.
+	if depth < tc.NumPaths() {
+		t.Errorf("queue-depth gauges = %d, want >= %d", depth, tc.NumPaths())
+	}
+}
+
+// TestTCPObsBackoff points a keeper at a dead address: every failed dial
+// records its backoff sleep in the reconnect-backoff histogram.
+func TestTCPObsBackoff(t *testing.T) {
+	stats := sim.NewStats()
+	tc, err := NewTCP(sim.DefaultCosts(0), stats, 1, 1, TCPOptions{
+		ReconnectMin: time.Millisecond,
+		ReconnectMax: 5 * time.Millisecond,
+		DialTimeout:  50 * time.Millisecond,
+		Remotes:      map[string]string{"dead": "127.0.0.1:1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tc.Close)
+	set := obs.NewSet(obs.Config{Enabled: true, TraceCap: 8}, stats)
+	tc.AttachObs(set)
+	registerTCP(t, tc, "a", func(Message) {})
+
+	if err := tc.Send(Message{From: "a", To: "dead", Kind: "ping", Payload: tcpTestPayload{V: 1}}, AnyPath); err != nil {
+		t.Fatal(err)
+	}
+	waitUntil(t, 5*time.Second, "backoff observations", func() bool {
+		return set.Merged(obs.HistTCPBackoff).Count >= 2
+	})
+}
+
+// TestTCPAttachObsAfterPaths instruments a fabric whose paths already
+// exist: AttachObs must retrofit them.
+func TestTCPAttachObsAfterPaths(t *testing.T) {
+	tc, stats := newTestTCP(t, 1)
+	got := make(chan Message, 1)
+	registerTCP(t, tc, "a", func(Message) {})
+	registerTCP(t, tc, "b", func(m Message) { got <- m })
+	if err := tc.Send(Message{From: "a", To: "b", Kind: "ping", Payload: tcpTestPayload{V: 1}}, AnyPath); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+
+	set := obs.NewSet(obs.Config{Enabled: true, TraceCap: 8}, stats)
+	tc.AttachObs(set)
+	if err := tc.Send(Message{From: "a", To: "b", Kind: "ping", Payload: tcpTestPayload{V: 2}}, AnyPath); err != nil {
+		t.Fatal(err)
+	}
+	<-got
+	waitUntil(t, 5*time.Second, "retrofitted frame observations", func() bool {
+		return set.Merged(obs.HistTCPFrameSize).Count >= 1
+	})
 }

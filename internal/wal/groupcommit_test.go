@@ -133,3 +133,64 @@ func TestGroupCommitCrashMidBatchReplay(t *testing.T) {
 		}
 	}
 }
+
+// TestGroupCommitForceObserver checks the batch-size observer feed: every
+// led disk write reports its cohort exactly once, and the cohorts sum to
+// the total number of force calls (each call either led or joined).
+func TestGroupCommitForceObserver(t *testing.T) {
+	l, stats := newGroupLog(2 * time.Millisecond)
+	var mu sync.Mutex
+	var cohorts []int
+	l.SetForceObserver(func(c int) {
+		mu.Lock()
+		cohorts = append(cohorts, c)
+		mu.Unlock()
+	})
+
+	const committers = 6
+	var wg sync.WaitGroup
+	for i := 0; i < committers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			txid := lock.TxID{Site: fmt.Sprintf("o%d", i), Seq: 1}
+			rec := Record{Tx: txid, Object: gcObj(uint32(i), 0), Before: []byte("x"), After: []byte("y")}
+			l.Append([]Record{rec})
+			l.Commit(txid)
+		}()
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	forces := stats.Get(sim.CtrWALGroupForces)
+	joins := stats.Get(sim.CtrWALGroupJoins)
+	if int64(len(cohorts)) != forces {
+		t.Errorf("observer fired %d times, want once per led force (%d)", len(cohorts), forces)
+	}
+	sum := int64(0)
+	for _, c := range cohorts {
+		if c < 1 {
+			t.Errorf("observed cohort %d < 1", c)
+		}
+		sum += int64(c)
+	}
+	if sum != forces+joins {
+		t.Errorf("cohorts sum to %d, want every force call covered (%d)", sum, forces+joins)
+	}
+}
+
+// TestForceObserverBeforeEnableIsNoop: registering an observer on a log
+// without group commit must neither panic nor fire.
+func TestForceObserverBeforeEnableIsNoop(t *testing.T) {
+	stats := sim.NewStats()
+	disk := storage.NewDisk("logdisk-noop", sim.DefaultCosts(0), stats)
+	l := NewStableLog(disk)
+	fired := false
+	l.SetForceObserver(func(int) { fired = true })
+	l.Force()
+	if fired {
+		t.Error("observer fired without group commit enabled")
+	}
+}

@@ -126,8 +126,9 @@ type ForceInfo struct {
 // requested — so by the time the leader writes, the batch's records are
 // all in the log and one write covers them.
 type groupForcer struct {
-	window time.Duration
-	stats  *sim.Stats
+	window   time.Duration
+	stats    *sim.Stats
+	observer func(cohort int) // nil unless SetForceObserver was called
 
 	mu      sync.Mutex
 	pending *forceBatch // batch currently open for joiners; nil when none
@@ -166,6 +167,9 @@ func (g *groupForcer) force(disk *storage.Disk) ForceInfo {
 	if g.stats != nil {
 		g.stats.Inc(sim.CtrWALGroupForces)
 	}
+	if g.observer != nil {
+		g.observer(cohort)
+	}
 	return ForceInfo{Cohort: cohort, Led: true}
 }
 
@@ -176,6 +180,19 @@ func (g *groupForcer) force(disk *storage.Disk) ForceInfo {
 func (l *StableLog) EnableGroupCommit(window time.Duration, stats *sim.Stats) {
 	l.mu.Lock()
 	l.gf = &groupForcer{window: window, stats: stats}
+	l.mu.Unlock()
+}
+
+// SetForceObserver registers a callback invoked by each batch leader with
+// the cohort its disk write retired — the WAL batch-size histogram feed,
+// letting the group-commit window be tuned from metrics. No-op before
+// EnableGroupCommit; fn runs on the leader's goroutine after the write,
+// so it must be cheap and thread-safe. nil clears it.
+func (l *StableLog) SetForceObserver(fn func(cohort int)) {
+	l.mu.Lock()
+	if l.gf != nil {
+		l.gf.observer = fn
+	}
 	l.mu.Unlock()
 }
 

@@ -1,7 +1,14 @@
 #!/bin/sh
-# e2e.sh — build shored + shorecli and run a loopback end-to-end cell:
-# a real TCP page server, client peers driving the paper's workloads over
-# actual sockets, then a graceful SIGTERM shutdown (drain + WAL force).
+# e2e.sh — build shored + shorecli + shorectl and run a loopback
+# end-to-end cell: a real TCP page server, client peers driving the
+# paper's workloads over actual sockets — both with observability on —
+# then the shorectl collector merging the fleet's snapshots (the server's
+# live /debug/obs/snapshot endpoint plus the clients' snapshot files)
+# into one Perfetto trace and critical-path table, and finally a graceful
+# SIGTERM shutdown (drain + WAL force). shorectl runs as a gate: the
+# merged trace must join spans across the processes and the critical path
+# must attribute time to the network, and any snapshot that fails to
+# decode fails the cell.
 # This script IS the CI entrypoint for the e2e-tcp job; run it locally
 # for the same coverage.
 #
@@ -48,19 +55,23 @@ if [ "$batch" = "on" ]; then
     batchflag="-batch"
 fi
 
-echo "== building shored and shorecli ${buildflags:+($buildflags)}"
+echo "== building shored, shorecli, and shorectl ${buildflags:+($buildflags)}"
 # shellcheck disable=SC2086 # buildflags is intentionally word-split
 go build $buildflags -o "$out/shored" ./cmd/shored
 # shellcheck disable=SC2086
 go build $buildflags -o "$out/shorecli" ./cmd/shorecli
+# shellcheck disable=SC2086
+go build $buildflags -o "$out/shorectl" ./cmd/shorectl
 
 addrfile=$out/shored.addr
-rm -f "$addrfile"
+metricsfile=$out/shored.metrics
+rm -f "$addrfile" "$metricsfile"
 
-echo "== starting shored ($protocol, batch=$batch)"
+echo "== starting shored ($protocol, batch=$batch, obs on)"
 # shellcheck disable=SC2086
 "$out/shored" -addr 127.0.0.1:0 -addr-file "$addrfile" \
     -protocol "$protocol" $batchflag \
+    -obs -metrics 127.0.0.1:0 -metrics-addr-file "$metricsfile" \
     -traceout "$out/shored-trace.json" -critpath "$out/shored-critpath.txt" \
     >"$out/shored.log" 2>&1 &
 server_pid=$!
@@ -92,13 +103,42 @@ done
 addr=$(cat "$addrfile")
 echo "== shored listening on $addr"
 
-echo "== HOTCOLD workload over TCP"
-"$out/shorecli" -addr "$addr" -protocol "$protocol" $batchflag \
-    -workload hotcold -apps 2 -txs "$txs" -name-prefix c
+# The introspection endpoint binds right after the main listener; wait
+# for its address too so shorectl has something to scrape.
+i=0
+while [ ! -s "$metricsfile" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "shored never published its introspection address; log:" >&2
+        cat "$out/shored.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+metrics_addr=$(cat "$metricsfile")
+echo "== shored introspection on $metrics_addr"
 
-echo "== HOTSPOT workload over TCP"
+echo "== HOTCOLD workload over TCP (obs on, snapshot on exit)"
 "$out/shorecli" -addr "$addr" -protocol "$protocol" $batchflag \
-    -workload hotspot -apps 2 -txs "$txs" -name-prefix d
+    -workload hotcold -apps 2 -txs "$txs" -name-prefix c \
+    -obs -snapshot-out "$out/shorecli-c.snap"
+
+echo "== HOTSPOT workload over TCP (obs on, snapshot on exit)"
+"$out/shorecli" -addr "$addr" -protocol "$protocol" $batchflag \
+    -workload hotspot -apps 2 -txs "$txs" -name-prefix d \
+    -obs -snapshot-out "$out/shorecli-d.snap"
+
+# Collect the fleet while the server is still live: scrape shored's
+# snapshot endpoint, read both client snapshot files, merge, and gate.
+# A snapshot that fails to decode, a merged trace with no cross-process
+# span joins, or a critical path with no network time all fail the cell.
+echo "== shorectl: merge fleet snapshots (1 endpoint + 2 files)"
+"$out/shorectl" -endpoints "$metrics_addr" \
+    -files "$out/shorecli-c.snap,$out/shorecli-d.snap" \
+    -trace-out "$out/fleet-trace.json" -critpath-out "$out/fleet-critpath.txt" \
+    -require-cross-flows 1 -require-network \
+    >"$out/shorectl.txt"
+cat "$out/shorectl.txt"
 
 echo "== graceful shutdown (drain + WAL force)"
 kill -TERM "$server_pid"
@@ -116,4 +156,4 @@ grep -q "final counters" "$out/shored.log" || {
     exit 1
 }
 
-echo "== e2e OK ($protocol, batch=$batch); server log and artifacts in $out/"
+echo "== e2e OK ($protocol, batch=$batch); merged fleet trace, critpath, and logs in $out/"
