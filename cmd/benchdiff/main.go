@@ -12,9 +12,12 @@
 // benchmarks appear, old ones get renamed). Custom throughput metrics
 // (tps:*) are reported for information only: wall-clock figure numbers on
 // shared CI runners are too noisy to gate on. allocs/op is gated
-// alongside the time metric whenever both reports carry it: unlike
-// wall-clock numbers, allocation counts are deterministic, so ANY growth
-// beyond -allocslack (default 0) allocations per op is fatal. Latency
+// alongside the time metric whenever both reports carry it: fixed-work
+// microbenchmarks have deterministic allocation counts, so ANY growth
+// beyond -allocslack (default 0) allocations per op is fatal, while
+// wall-clock-windowed sweeps (baseline allocs/op above allocExactMax,
+// where the count merely tracks how much work the window fit) fall back
+// to the relative -threshold gate. Latency
 // percentiles are informational by default; -pgate <pct> opts in to
 // failing when any p99-* percentile regresses by more than that
 // percentage (tail latencies are the noisiest numbers a shared runner
@@ -167,7 +170,7 @@ func run(args []string, out *os.File) error {
 		fmt.Fprintf(out, "  GONE  %s\n", name)
 	}
 
-	aRegressions := printAllocs(out, names, oldBy, newBy, *allocSlack)
+	aRegressions := printAllocs(out, names, oldBy, newBy, *allocSlack, *threshold)
 	pRegressions := printPercentiles(out, names, oldBy, newBy, *pgate)
 
 	span := commitSpan(oldRep.Commit, newRep.Commit)
@@ -187,13 +190,27 @@ func run(args []string, out *os.File) error {
 	return nil
 }
 
-// printAllocs gates the allocs/op metric. Allocation counts are
-// deterministic — unlike wall-clock time, they do not wobble with runner
-// load — so the gate is absolute: a benchmark whose allocs/op grew by more
-// than slack allocations fails, however small the growth looks as a
-// percentage. Reports predating -benchmem simply lack the metric and are
-// skipped, so old-vs-new diffs keep working. slack < 0 disables the gate.
-func printAllocs(out *os.File, names []string, oldBy, newBy map[string]benchEntry, slack float64) []string {
+// allocExactMax separates the two kinds of benchmark the reports carry.
+// Fixed-work benchmarks (the lock microbenchmarks: 0–6 allocs/op) have
+// deterministic allocation counts, so any growth beyond the absolute
+// slack is a real leak. The figure sweeps instead run a wall-clock
+// measurement window, so the work done per "op" — and with it the total
+// allocation count, millions per run — tracks machine speed: two runs of
+// the same binary differ by a percent or two. Entries whose baseline
+// allocs/op exceeds this cutoff are therefore gated relatively, at the
+// same threshold as ns/op, rather than at +0.
+const allocExactMax = 10_000
+
+// printAllocs gates the allocs/op metric. For fixed-work benchmarks
+// (baseline allocs/op ≤ allocExactMax) allocation counts are deterministic
+// — unlike wall-clock time, they do not wobble with runner load — so the
+// gate is absolute: allocs/op growing by more than slack fails, however
+// small the growth looks as a percentage. Work-proportional sweeps above
+// the cutoff are gated at the relative threshold instead (see
+// allocExactMax). Reports predating -benchmem simply lack the metric and
+// are skipped, so old-vs-new diffs keep working. slack < 0 disables the
+// gate.
+func printAllocs(out *os.File, names []string, oldBy, newBy map[string]benchEntry, slack, threshold float64) []string {
 	if slack < 0 {
 		return nil
 	}
@@ -211,11 +228,16 @@ func printAllocs(out *os.File, names []string, oldBy, newBy map[string]benchEntr
 			continue
 		}
 		if !header {
-			fmt.Fprintf(out, "\nallocations (gate: +%g allocs/op):\n", slack)
+			fmt.Fprintf(out, "\nallocations (gate: +%g allocs/op exact, +%.0f%% above %d):\n",
+				slack, threshold*100, allocExactMax)
 			header = true
 		}
+		limit := ov + slack
+		if ov > allocExactMax {
+			limit = ov * (1 + threshold)
+		}
 		status := "ok"
-		if nv > ov+slack {
+		if nv > limit {
 			status = "FAIL"
 			regressions = append(regressions,
 				fmt.Sprintf("%s: allocs/op %g -> %g", name, ov, nv))

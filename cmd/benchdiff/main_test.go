@@ -165,6 +165,53 @@ func TestPercentileSectionDegradesGracefully(t *testing.T) {
 	}
 }
 
+func TestAllocGateExactVsRelative(t *testing.T) {
+	// Fixed-work benchmarks (small allocs/op) are gated at +0 exactly; the
+	// wall-clock figure sweeps (millions of allocs/op, proportional to how
+	// much work the measurement window fit) only fail past -threshold.
+	oldPath := writeReport(t, "old.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkMicro", "iterations": 1000, "ns/op": 100, "allocs/op": 6},
+	    {"name": "BenchmarkFig06Sweep", "iterations": 1, "ns/op": 100, "allocs/op": 4000000}
+	  ]
+	}`)
+	noisy := writeReport(t, "noisy.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkMicro", "iterations": 1000, "ns/op": 100, "allocs/op": 6},
+	    {"name": "BenchmarkFig06Sweep", "iterations": 1, "ns/op": 100, "allocs/op": 4200000}
+	  ]
+	}`)
+	if err := run([]string{oldPath, noisy}, os.Stdout); err != nil {
+		t.Fatalf("5%% sweep-allocation drift should pass the relative gate: %v", err)
+	}
+	leak := writeReport(t, "leak.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkMicro", "iterations": 1000, "ns/op": 100, "allocs/op": 7},
+	    {"name": "BenchmarkFig06Sweep", "iterations": 1, "ns/op": 100, "allocs/op": 4000000}
+	  ]
+	}`)
+	err := run([]string{oldPath, leak}, os.Stdout)
+	if err == nil {
+		t.Fatal("6 -> 7 allocs/op on a fixed-work benchmark passed the exact gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkMicro") {
+		t.Errorf("error does not name the leaking benchmark: %v", err)
+	}
+	blowup := writeReport(t, "blowup.json", `{
+	  "benchmarks": [
+	    {"name": "BenchmarkMicro", "iterations": 1000, "ns/op": 100, "allocs/op": 6},
+	    {"name": "BenchmarkFig06Sweep", "iterations": 1, "ns/op": 100, "allocs/op": 5000000}
+	  ]
+	}`)
+	err = run([]string{oldPath, blowup}, os.Stdout)
+	if err == nil {
+		t.Fatal("25% sweep-allocation growth passed the 15% relative gate")
+	}
+	if !strings.Contains(err.Error(), "BenchmarkFig06Sweep") {
+		t.Errorf("error does not name the regressed sweep: %v", err)
+	}
+}
+
 const pgateOldReport = `{
   "benchmarks": [
     {"name": "BenchmarkFig06Observed", "iterations": 1, "ns/op": 100,

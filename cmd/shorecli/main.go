@@ -10,6 +10,12 @@
 //	shorecli -addr ... -workload hotspot -apps 4       # false-sharing workload
 //	shorecli -addr ... -protocol ps -txs 200           # must match the server's protocol
 //	shorecli -addr ... -name-prefix d                  # second process: distinct peer names
+//	shorecli -addr a1,a2                               # 2-shard fleet (shored -shard 1/2, 2/2)
+//
+// A comma-separated -addr connects to a sharded fleet: address i is shard
+// i (shored -shard i/N), named "srv<i>" and serving volume i with the
+// i-th equal slice of -pages. Transactions spanning shards commit through
+// cross-shard two-phase commit transparently.
 //
 // Exits nonzero if any application fails to commit its transaction quota
 // or a connection-level transport error surfaced on any peer.
@@ -64,8 +70,9 @@ func parseWorkload(s string) (workload.Kind, error) {
 func run(args []string) error {
 	fs := flag.NewFlagSet("shorecli", flag.ContinueOnError)
 	var (
-		addr       = fs.String("addr", "", "shored server address (required)")
-		srvName    = fs.String("server-name", "srv", "server peer name (must match shored -name)")
+		addr       = fs.String("addr", "", "shored server address, or comma-separated shard addresses in shard order (required)")
+		srvName    = fs.String("server-name", "srv", "server peer name (single server only; must match shored -name)")
+		commitHold = fs.Duration("commit-hold", 0, "pause every cross-shard commit this long between prepare and decide (crash-drill fault injection)")
 		protoStr   = fs.String("protocol", "PS-AA", "consistency protocol (must match the server)")
 		wlStr      = fs.String("workload", "hotcold", "workload kind (hotcold, uniform, hicon, private, hotspot)")
 		highLoc    = fs.Bool("high-locality", false, "high page locality setting (30 pages, 8-16 objects per page)")
@@ -110,7 +117,7 @@ func run(args []string) error {
 		return err
 	}
 
-	cli, err := shoreclient.Connect(shoreclient.Options{
+	copts := shoreclient.Options{
 		Addr:           *addr,
 		ServerName:     *srvName,
 		Protocol:       proto,
@@ -123,7 +130,27 @@ func run(args []string) error {
 		RPCTimeout:     *rpcTimeout,
 		Batch:          *batch,
 		Obs:            *obsOn,
-	})
+		CommitHold:     *commitHold,
+	}
+	if addrs := strings.Split(*addr, ","); len(addrs) > 1 {
+		// A fleet: address i is shard i (shored -shard i/N), serving volume
+		// i with the i-th equal slice of the total page count.
+		n := len(addrs)
+		slice := uint32(*pages) / uint32(n)
+		for i, a := range addrs {
+			cnt := slice
+			if i == n-1 {
+				cnt = uint32(*pages) - slice*uint32(n-1)
+			}
+			copts.Fleet = append(copts.Fleet, shoreclient.Endpoint{
+				Name:   fmt.Sprintf("srv%d", i+1),
+				Addr:   strings.TrimSpace(a),
+				Volume: storage.VolumeID(i + 1),
+				Pages:  cnt,
+			})
+		}
+	}
+	cli, err := shoreclient.Connect(copts)
 	if err != nil {
 		return err
 	}

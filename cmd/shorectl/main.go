@@ -16,10 +16,12 @@
 //	shorectl -endpoints 127.0.0.1:8377,127.0.0.1:8378 -trace-out fleet.json
 //	shorectl -files srv.snap,cli.snap -critpath-out cp.txt
 //	shorectl -endpoints ... -require-cross-flows 1 -require-network
+//	shorectl -files ... -require-processes 4
 //
 // The -require-* flags turn shorectl into a CI gate: exit nonzero unless
 // the merged trace joins spans across processes / attributes critical-path
-// time to the network.
+// time to the network / contains exactly the expected number of fleet
+// processes.
 package main
 
 import (
@@ -54,6 +56,7 @@ func run(args []string, out io.Writer) error {
 		timeout   = fs.Duration("timeout", 5*time.Second, "per-endpoint scrape timeout")
 		minFlows  = fs.Int("require-cross-flows", 0, "fail unless at least this many cross-process span joins exist in the merged trace")
 		reqNet    = fs.Bool("require-network", false, "fail unless the merged critical path attributes nonzero time to the network phase")
+		reqProcs  = fs.Int("require-processes", 0, "fail unless exactly this many distinct processes contributed snapshots (fleet completeness gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -95,6 +98,10 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	if *reqProcs > 0 && len(m.Processes) != *reqProcs {
+		return fmt.Errorf("merged view has %d processes (%s), want exactly %d: a fleet member is missing or duplicated",
+			len(m.Processes), strings.Join(m.Processes, ", "), *reqProcs)
+	}
 	if *minFlows > 0 && flows < *minFlows {
 		return fmt.Errorf("merged trace has %d cross-process span joins, want >= %d: span contexts are not riding the wire (or span-id namespaces collided)", flows, *minFlows)
 	}

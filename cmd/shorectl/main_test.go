@@ -176,6 +176,31 @@ func TestRequireCrossFlowsFails(t *testing.T) {
 	}
 }
 
+func TestRequireProcessesGate(t *testing.T) {
+	// One snapshot file → one process; the exact-count fleet gate must
+	// pass at 1 and trip at any other count.
+	dir := t.TempDir()
+	snapFile := filepath.Join(dir, "cli.snap")
+	f, err := os.Create(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := export.Write(f, clientSnap()); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-files", snapFile, "-require-processes", "1"}, &out); err != nil {
+		t.Fatalf("exact count rejected: %v", err)
+	}
+	out.Reset()
+	err = run([]string{"-files", snapFile, "-require-processes", "2"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "want exactly 2") {
+		t.Fatalf("missing-member gate did not trip: err=%v", err)
+	}
+}
+
 func TestCollectRejectsBadSnapshot(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Write([]byte(`{"version": 99}`))

@@ -11,10 +11,20 @@
 //	shored -protocol ps -pages 4800          # protocol and database size
 //	shored -metrics :8377                    # Prometheus /metrics + expvar
 //	shored -batch -groupcommit               # message coalescing + WAL group commit
+//	shored -shard 1/2 -pages 1200            # shard 1 of a 2-server fleet (pages 0-599)
+//
+// With -shard i/N the server is one shard of an N-server fleet: it serves
+// volume i holding the i-th equal slice of the total page count, under the
+// default name "srv<i>". Clients route each page to its owning shard and
+// run cross-shard commits through two-phase commit; -peers gives this
+// shard the other shards' addresses so it can resolve in-doubt prepared
+// transactions by asking their coordinator directly.
 //
 // On SIGINT/SIGTERM the server shuts down gracefully: the fabric drains
 // in-flight requests and queued frames, the WAL is forced so every
-// acknowledged commit is stable, and a final counter summary is printed.
+// acknowledged commit is stable, and a final counter summary is printed
+// along with the count of prepared-but-undecided transactions (zero on a
+// clean fleet shutdown).
 package main
 
 import (
@@ -27,6 +37,7 @@ import (
 	"os"
 	"os/signal"
 	"sort"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,7 +64,9 @@ func run(args []string) error {
 	var (
 		addr       = fs.String("addr", "127.0.0.1:7455", "TCP listen address (use :0 for an ephemeral port)")
 		addrFile   = fs.String("addr-file", "", "write the bound listen address to this file (for -addr :0)")
-		name       = fs.String("name", "srv", "server peer name (clients must use the same name)")
+		name       = fs.String("name", "", "server peer name (default \"srv\", or \"srv<i>\" with -shard; clients must use the same name)")
+		shardSpec  = fs.String("shard", "", "serve shard i of an N-server fleet as \"i/N\": volume i, the i-th equal slice of -pages")
+		peersSpec  = fs.String("peers", "", "other shards as comma-separated name=addr pairs (for cross-shard status queries)")
 		protoStr   = fs.String("protocol", "PS-AA", "consistency protocol (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)")
 		volume     = fs.Uint("volume", 1, "served volume ID")
 		pages      = fs.Uint("pages", 1200, "database size in pages")
@@ -63,6 +76,7 @@ func run(args []string) error {
 		numPaths   = fs.Int("num-paths", 3, "independent FIFO paths per peer pair (clients must match)")
 		seed       = fs.Int64("seed", 1, "path-selection seed")
 		rpcTimeout = fs.Duration("rpc-timeout", 500*time.Millisecond, "request attempt timeout (retry/dedup recovers socket loss)")
+		deadStalls = fs.Int("dead-client-stalls", 3, "consecutive silent callback-round stalls before a client is declared dead and its state reclaimed (0 disables)")
 		batch      = fs.Bool("batch", false, "coalesce callback acks, release notices, and purges onto same-path messages")
 		groupCmt   = fs.Bool("groupcommit", false, "absorb concurrent WAL forces into shared disk writes")
 		obsOn      = fs.Bool("obs", false, "enable observability: latency histograms and trace rings")
@@ -79,6 +93,46 @@ func run(args []string) error {
 	if !ok {
 		return fmt.Errorf("unknown protocol %q (PS, PS-OO, PS-OA, PS-AA, PS-AH, OS)", *protoStr)
 	}
+
+	// -shard i/N: this process serves volume i holding the i-th equal
+	// slice of the fleet's total page count (remainder pages land on the
+	// last shard, matching the client's split of the same -pages value).
+	shardIdx, shardN := 0, 0
+	servedPages := uint32(*pages)
+	if *shardSpec != "" {
+		if _, err := fmt.Sscanf(*shardSpec, "%d/%d", &shardIdx, &shardN); err != nil || shardIdx < 1 || shardN < 1 || shardIdx > shardN {
+			return fmt.Errorf("bad -shard %q: want i/N with 1 <= i <= N", *shardSpec)
+		}
+		slice := uint32(*pages) / uint32(shardN)
+		servedPages = slice
+		if shardIdx == shardN {
+			servedPages = uint32(*pages) - slice*uint32(shardN-1)
+		}
+		if servedPages == 0 {
+			return fmt.Errorf("-shard %s of %d pages leaves shard %d empty", *shardSpec, *pages, shardIdx)
+		}
+		*volume = uint(shardIdx)
+		if *name == "" {
+			*name = fmt.Sprintf("srv%d", shardIdx)
+		}
+	}
+	if *name == "" {
+		*name = "srv"
+	}
+	remotes := map[string]string{}
+	if *peersSpec != "" {
+		for _, pair := range strings.Split(*peersSpec, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			k, v, ok := strings.Cut(pair, "=")
+			if !ok || k == "" || v == "" {
+				return fmt.Errorf("bad -peers entry %q: want name=addr", pair)
+			}
+			remotes[k] = v
+		}
+	}
 	if *metricsAt != "" || *traceOut != "" || *cpOut != "" || *auditOn {
 		*obsOn = true
 	}
@@ -92,25 +146,26 @@ func run(args []string) error {
 	costs := sim.DefaultCosts(0) // real wire: no simulated latency on top
 	pool := *serverPool
 	if pool == 0 {
-		pool = int(*pages) / 2
+		pool = int(servedPages) / 2
 	}
 	cfg := core.Config{
-		Protocol:        proto,
-		Costs:           costs,
-		ObjectsPerPage:  *objsPage,
-		ObjectSize:      *pageSize / *objsPage,
-		ServerPoolPages: pool,
-		ClientPoolPages: 64, // server-role only; no local applications
-		NumPaths:        *numPaths,
-		Seed:            *seed,
-		UseTimeouts:     true,
-		AdaptiveTimeout: false,
-		FixedTimeout:    5 * time.Second,
-		RPCTimeout:      *rpcTimeout,
-		Batch:           *batch,
-		GroupCommit:     *groupCmt,
-		Obs:             obs.Config{Enabled: *obsOn},
-		Transport:       transport.TCPFactory(transport.TCPOptions{ListenAddr: *addr}),
+		Protocol:         proto,
+		Costs:            costs,
+		ObjectsPerPage:   *objsPage,
+		ObjectSize:       *pageSize / *objsPage,
+		ServerPoolPages:  pool,
+		ClientPoolPages:  64, // server-role only; no local applications
+		NumPaths:         *numPaths,
+		Seed:             *seed,
+		UseTimeouts:      true,
+		AdaptiveTimeout:  false,
+		FixedTimeout:     5 * time.Second,
+		RPCTimeout:       *rpcTimeout,
+		DeadClientStalls: *deadStalls,
+		Batch:            *batch,
+		GroupCommit:      *groupCmt,
+		Obs:              obs.Config{Enabled: *obsOn},
+		Transport:        transport.TCPFactory(transport.TCPOptions{ListenAddr: *addr, Remotes: remotes}),
 	}
 	var auditor *audit.Auditor
 	if *auditOn {
@@ -123,10 +178,10 @@ func run(args []string) error {
 	}
 
 	vol := storage.NewVolume(storage.VolumeID(*volume), costs, sys.Stats())
-	if _, err := vol.CreateFile(1, 0, uint32(*pages), *objsPage, cfg.ObjectSize); err != nil {
+	if _, err := vol.CreateFile(1, 0, servedPages, *objsPage, cfg.ObjectSize); err != nil {
 		return err
 	}
-	sys.Directory().AddExtent(storage.VolumeID(*volume), 1, 0, uint32(*pages))
+	sys.Directory().AddExtent(storage.VolumeID(*volume), 1, 0, servedPages)
 	srv, err := sys.AddPeer(*name, vol)
 	if err != nil {
 		return err
@@ -138,8 +193,13 @@ func run(args []string) error {
 			return fmt.Errorf("addr-file: %w", err)
 		}
 	}
-	fmt.Printf("shored: %s serving volume %d (%d pages, %d objs/page) on %s as %q\n",
-		proto, *volume, *pages, *objsPage, bound, *name)
+	if shardN > 0 {
+		fmt.Printf("shored: %s serving shard %d/%d (volume %d, %d of %d pages, %d objs/page) on %s as %q\n",
+			proto, shardIdx, shardN, *volume, servedPages, *pages, *objsPage, bound, *name)
+	} else {
+		fmt.Printf("shored: %s serving volume %d (%d pages, %d objs/page) on %s as %q\n",
+			proto, *volume, *pages, *objsPage, bound, *name)
+	}
 
 	if *metricsAt != "" {
 		obs.PublishExpvar()
@@ -183,6 +243,10 @@ func run(args []string) error {
 	// every acknowledged commit stable before the process exits.
 	sys.Close()
 	srv.ForceWAL()
+	// The in-doubt residue: prepared cross-shard transactions whose
+	// decide/finish never arrived. Zero on a clean fleet shutdown; the e2e
+	// harness greps this line.
+	fmt.Printf("shored: prepared-undecided transactions: %d\n", srv.PreparedUndecided())
 	if auditor != nil {
 		auditor.Sweep() // quiesced: the confirmation passes are exact
 		if auditor.Total() > 0 {

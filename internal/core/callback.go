@@ -47,6 +47,18 @@ func (op *cbOp) clearWaiting(client string) bool {
 	return true
 }
 
+// waitingClients snapshots the clients whose ack is still outstanding —
+// on a zero-progress stall, the suspects for dead-client detection.
+func (op *cbOp) waitingClients() []string {
+	op.mu.Lock()
+	defer op.mu.Unlock()
+	out := make([]string, 0, len(op.waiting))
+	for c := range op.waiting {
+		out = append(out, c)
+	}
+	return out
+}
+
 // auditHookForgetOneAck, when armed, makes the next callback round forget
 // one client's outstanding ack right after the callbacks are sent: the
 // round completes "ok" without having heard from the lexicographically
@@ -254,6 +266,9 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 			progress()
 			switch {
 			case ev.ack != nil:
+				if p.cfg.DeadClientStalls > 0 {
+					p.noteCbAlive(ev.ack.Client)
+				}
 				if !op.clearWaiting(ev.ack.Client) {
 					break // duplicate delivery (or raced a crash's synthetic ack)
 				}
@@ -277,6 +292,9 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 					p.dropCopies(scope, ev.ack.Client, clients[ev.ack.Client])
 				}
 			case ev.blocked != nil:
+				if p.cfg.DeadClientStalls > 0 {
+					p.noteCbAlive(ev.blocked.Client)
+				}
 				k := blockedKey{ev.blocked.Client, ev.blocked.Item}
 				if blockedSeen[k] {
 					break // duplicate delivery: the dance already ran
@@ -299,6 +317,17 @@ func (p *Peer) callbackRound(txid lock.TxID, item, pageID, scope storage.ItemID,
 			}
 		case <-timeoutCh:
 			p.stats.Inc(sim.CtrTimeoutsFired)
+			// Dead-client detection: every client still silent at a
+			// zero-progress stall extends its streak; one that crosses the
+			// threshold is fenced and reclaimed, so the NEXT round against
+			// this item finds its copies gone and succeeds.
+			if p.cfg.DeadClientStalls > 0 {
+				for _, c := range op.waitingClients() {
+					if p.noteCbStall(c) {
+						p.sys.fenceDead(c)
+					}
+				}
+			}
 			return downgraded, fmt.Errorf("core: callback op %d on %v stalled: %w", op.id, item, lock.ErrTimeout)
 		}
 		if firstErr != nil {

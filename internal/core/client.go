@@ -550,27 +550,111 @@ func (t *Tx) Commit() error {
 		}()
 	}
 	recs := p.logCache.Take(t.id)
-	byOwner := make(map[string][]wal.Record)
+	// One pass decides the shape of the commit. The coordinator is the
+	// shard owning the first-written item: deterministic from the
+	// transaction's own history, so every participant and any recovering
+	// survivor names the same shard.
+	coord := ""
+	multi, unplaced := false, false
 	for _, r := range recs {
 		owner, err := p.sys.ownerOf(r.Object)
 		if err != nil {
+			unplaced = true
 			continue
 		}
-		byOwner[owner] = append(byOwner[owner], r)
+		if coord == "" {
+			coord = owner
+		} else if owner != coord {
+			multi = true
+		}
+	}
+	if !multi {
+		// Single-owner commit — every single-server fleet, and most
+		// transactions even when sharded: the owner's commit record alone
+		// decides the transaction, exactly as before sharding. No prepare
+		// marker, no second phase, and no per-commit grouping allocation.
+		if coord != "" {
+			rs := recs
+			if unplaced {
+				rs = recs[:0:0]
+				for _, r := range recs {
+					if _, err := p.sys.ownerOf(r.Object); err == nil {
+						rs = append(rs, r)
+					}
+				}
+			}
+			if coord == p.name {
+				p.appendAndRedo(rs, sc)
+			} else if _, err := p.call(coord, sc, prepareReq{Tx: t.id, Records: rs}); err != nil {
+				t.finish(false, recs, sc)
+				t.scrubAfterFailedCommit(recs)
+				return fmt.Errorf("core: prepare at %s: %w", coord, err)
+			}
+		}
+		t.finish(true, recs, sc)
+		p.stats.Inc(sim.CtrCommits)
+		return nil
+	}
+	byOwner := make(map[string][]wal.Record, 2)
+	for _, r := range recs {
+		if owner, err := p.sys.ownerOf(r.Object); err == nil {
+			byOwner[owner] = append(byOwner[owner], r)
+		}
 	}
 	for owner, rs := range byOwner {
 		if owner == p.name {
 			p.appendAndRedo(rs, sc)
+			p.slog.Prepare(t.id, coord)
+			p.stats.Inc(sim.Ctr2PCPrepares)
 			continue
 		}
-		if _, err := p.call(owner, sc, prepareReq{Tx: t.id, Records: rs}); err != nil {
+		if _, err := p.call(owner, sc, prepareReq{Tx: t.id, Records: rs, Coord: coord}); err != nil {
 			t.finish(false, recs, sc)
+			t.scrubAfterFailedCommit(recs)
 			return fmt.Errorf("core: prepare at %s: %w", owner, err)
 		}
+	}
+	if gate := p.cfg.TwoPCGate; gate != nil {
+		gate(p.name, t.id)
+	}
+	// The commit point: force the decision at the coordinator. Until it
+	// is recorded, every participant's prepare presumes abort; after
+	// it, the finish fan-out below is pure bookkeeping — a participant
+	// that misses it recovers the fate with a status query.
+	var err error
+	if coord == p.name {
+		err = p.slog.Decide(t.id, true)
+	} else if _, cerr := p.call(coord, sc, decideReq{Tx: t.id, Commit: true}); cerr != nil {
+		err = cerr
+	}
+	if err != nil {
+		t.finish(false, recs, sc)
+		t.scrubAfterFailedCommit(recs)
+		return fmt.Errorf("core: decide at %s: %w", coord, err)
 	}
 	t.finish(true, recs, sc)
 	p.stats.Inc(sim.CtrCommits)
 	return nil
+}
+
+// scrubAfterFailedCommit marks this client's cached copies of the
+// transaction's remotely-owned updates unavailable after a commit attempt
+// aborted mid-flight: the owners undo the shipped records from
+// before-images, and the stale local bytes must not be served to a later
+// transaction. Locally-owned records need no scrub — the local srvFinish
+// abort undoes them in the server buffer, which is the authority here.
+func (t *Tx) scrubAfterFailedCommit(recs []wal.Record) {
+	p := t.p
+	for _, r := range recs {
+		if owner, err := p.sys.ownerOf(r.Object); err != nil || owner == p.name {
+			continue
+		}
+		pageID := r.Object.PageID()
+		p.cs.mu.Lock()
+		p.pool.SetAvail(pageID, r.Object.Slot, false)
+		p.pool.SetDirtySlot(pageID, r.Object.Slot, false)
+		p.cs.mu.Unlock()
+	}
 }
 
 // Abort rolls the transaction back: local log records are discarded, its

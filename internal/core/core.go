@@ -29,11 +29,14 @@ package core
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"adaptivecc/internal/consistency"
+	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/obs/audit"
+	"adaptivecc/internal/placement"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
@@ -124,6 +127,17 @@ type Config struct {
 	// timeout instead of hanging. Default 4×RPCTimeout when RPCTimeout is
 	// enabled; zero disables.
 	CallbackTimeout time.Duration
+	// DeadClientStalls declares a persistently silent client dead: after
+	// this many consecutive zero-progress callback-round stalls implicating
+	// the same client — any reply from it resets the streak — the server
+	// fences it (the transport refuses its traffic from then on) and
+	// reclaims everything it left behind, exactly as CrashPeer would.
+	// Without it a SIGKILLed remote client's copy-table entries stall every
+	// later callback round against them, forever. Zero (the default)
+	// disables detection. Enable only on transports that do not lose
+	// frames (real TCP): under injected message loss a live client's lost
+	// ack is indistinguishable from silence.
+	DeadClientStalls int
 
 	// Obs enables the observability subsystem (latency histograms, trace
 	// rings, metrics registration). The zero value keeps it off: no
@@ -142,6 +156,30 @@ type Config struct {
 	// in-process simulated Network, which all committed figures use; runs
 	// on the default fabric are bit-identical to the pre-Fabric system.
 	Transport transport.Factory
+
+	// Placement, when non-nil, overrides the system's item→owner map with a
+	// caller-supplied one (e.g. placement.Hash for a static-hash fleet, or a
+	// deliberately wrong map in routing tests). Nil (the default) builds a
+	// placement.Table populated by AddPeer/AddRemoteOwner volume claims —
+	// exactly the pre-placement implicit ownership, bit for bit. With a
+	// custom map, volume claims are not cross-checked against it; the
+	// deployment is responsible for their agreement, and servers answer
+	// requests for items they do not own with placement.ErrMisdirected.
+	Placement placement.Map
+
+	// PrepareResolveAfter is how long a participant leaves a prepared
+	// cross-shard transaction in doubt before resolving it: asking the
+	// coordinator for the fate, or — when the coordinator is unreachable or
+	// silent — presuming abort. Default 16×RPCTimeout when the resilience
+	// discipline is on; zero otherwise (in-doubt transactions then wait for
+	// an explicit finish or crash reclamation).
+	PrepareResolveAfter time.Duration
+
+	// TwoPCGate, when non-nil, is a fault-injection hook called between the
+	// prepare and decide phases of a cross-shard commit, with the home peer
+	// and transaction about to be decided. Tests and the e2e harness use it
+	// to hold a transaction mid-2PC while a shard or the client is killed.
+	TwoPCGate func(home string, tx lock.TxID)
 }
 
 // resilient reports whether the request/reply resilience discipline
@@ -194,6 +232,9 @@ func (c Config) withDefaults() Config {
 		if c.CallbackTimeout == 0 {
 			c.CallbackTimeout = 4 * c.RPCTimeout
 		}
+		if c.PrepareResolveAfter == 0 {
+			c.PrepareResolveAfter = 16 * c.RPCTimeout
+		}
 	}
 	if c.Audit != nil {
 		// The auditor's event-driven half rides the obs sink; chain rather
@@ -215,15 +256,23 @@ func (c Config) withDefaults() Config {
 }
 
 // System wires peers together: the shared network, the page directory, and
-// the volume ownership map.
+// the placement map resolving every item to its owning server.
 type System struct {
-	cfg    Config
-	stats  *sim.Stats
-	net    transport.Fabric
-	dir    *storage.Directory
-	owners map[storage.VolumeID]string
-	peers  map[string]*Peer
-	obsSet *obs.Set // nil unless cfg.Obs.Enabled
+	cfg   Config
+	stats *sim.Stats
+	net   transport.Fabric
+	dir   *storage.Directory
+	// place resolves item→owner for every routing decision. placeTable is
+	// the same object when the map is the default directory table populated
+	// by AddPeer/AddRemoteOwner volume claims; nil when Config.Placement
+	// supplied a custom map (claims are then not registered anywhere).
+	place      placement.Map
+	placeTable *placement.Table
+	peers      map[string]*Peer
+	obsSet     *obs.Set // nil unless cfg.Obs.Enabled
+
+	closeOnce sync.Once
+	closed    chan struct{} // closed by Close; stops background resolvers
 }
 
 // NewSystem builds an empty system. Timeouts default to enabled with the
@@ -262,8 +311,14 @@ func NewSystemFabric(cfg Config) (*System, error) {
 		stats:  stats,
 		net:    net,
 		dir:    storage.NewDirectory(),
-		owners: make(map[storage.VolumeID]string),
 		peers:  make(map[string]*Peer),
+		closed: make(chan struct{}),
+	}
+	if cfg.Placement != nil {
+		s.place = cfg.Placement
+	} else {
+		s.placeTable = placement.NewTable()
+		s.place = s.placeTable
 	}
 	if cfg.Obs.Enabled {
 		s.obsSet = obs.NewSet(cfg.Obs, stats)
@@ -302,19 +357,24 @@ func (s *System) AddPeerWithPools(name string, serverPoolPages, clientPoolPages 
 	if _, ok := s.peers[name]; ok {
 		return nil, fmt.Errorf("core: peer %q already exists", name)
 	}
-	for _, v := range vols {
-		if owner, ok := s.owners[v.ID]; ok {
-			return nil, fmt.Errorf("core: volume %d already owned by %q", v.ID, owner)
+	if s.placeTable != nil {
+		for _, v := range vols {
+			if owner, ok := s.placeTable.VolumeOwner(v.ID); ok {
+				return nil, fmt.Errorf("core: volume %d already owned by %q", v.ID, owner)
+			}
 		}
 	}
 	p := newPeer(s, name, serverPoolPages, clientPoolPages, vols)
 	if err := s.net.Register(name, p.cpu, p.handle); err != nil {
 		return nil, err
 	}
-	for _, v := range vols {
-		s.owners[v.ID] = name
+	if s.placeTable != nil {
+		for _, v := range vols {
+			s.placeTable.SetVolume(v.ID, name)
+		}
 	}
 	s.peers[name] = p
+	p.startResolver()
 	if s.cfg.Audit != nil {
 		s.cfg.Audit.AttachView(peerView{p})
 	}
@@ -336,19 +396,20 @@ func (s *System) Peers() []*Peer {
 	return out
 }
 
-// ownerOf resolves the peer name owning an item's volume.
+// ownerOf resolves the peer name owning an item, through the placement map.
 func (s *System) ownerOf(item storage.ItemID) (string, error) {
-	owner, ok := s.owners[item.Vol]
-	if !ok {
-		return "", fmt.Errorf("core: volume %d has no owner", item.Vol)
-	}
-	return owner, nil
+	return s.place.Owner(item)
 }
 
-// Close shuts the network down, draining in-flight messages, and retires
-// the system from the metrics surface. The obs Set itself stays readable:
-// callers may still harvest histograms and trace events after Close.
+// Placement exposes the system's placement map.
+func (s *System) Placement() placement.Map { return s.place }
+
+// Close shuts the network down, draining in-flight messages, stops
+// background 2PC resolvers, and retires the system from the metrics
+// surface. The obs Set itself stays readable: callers may still harvest
+// histograms and trace events after Close.
 func (s *System) Close() {
+	s.closeOnce.Do(func() { close(s.closed) })
 	s.net.Close()
 	if s.obsSet != nil {
 		obs.UnregisterSet(s.obsSet)
@@ -371,11 +432,16 @@ func (s *System) AddRemoteOwner(name string, vols ...storage.VolumeID) error {
 	if _, ok := s.peers[name]; ok {
 		return fmt.Errorf("core: peer %q exists locally", name)
 	}
+	if s.placeTable == nil {
+		// A custom placement map already knows the fleet's layout; remote
+		// owners need no registration beyond the transport's route table.
+		return nil
+	}
 	for _, v := range vols {
-		if owner, ok := s.owners[v]; ok {
+		if owner, ok := s.placeTable.VolumeOwner(v); ok {
 			return fmt.Errorf("core: volume %d already owned by %q", v, owner)
 		}
-		s.owners[v] = name
+		s.placeTable.SetVolume(v, name)
 	}
 	return nil
 }
@@ -401,4 +467,21 @@ func (s *System) CrashPeer(name string) error {
 		}
 	}
 	return nil
+}
+
+// fenceDead declares a peer dead after repeated silent callback stalls
+// (Config.DeadClientStalls): the transport refuses its traffic from here
+// on — if it is in fact alive it is fenced out, an availability loss but
+// never a consistency one — and every local peer reclaims its leavings.
+// Unlike CrashPeer the name may be a remote process this System never
+// hosted, which is the usual case on a real server.
+func (s *System) fenceDead(name string) {
+	if !s.net.Crash(name) {
+		return // already fenced
+	}
+	for n, q := range s.peers {
+		if n != name {
+			q.peerDown(name)
+		}
+	}
 }

@@ -160,12 +160,54 @@ func TestCounterCompleteness(t *testing.T) {
 	scenarioBatching(t, add)
 	scenarioTCP(t, add)
 	scenarioDetach(t, add)
+	scenario2PC(t, add)
 
 	for cname, counter := range declaredCounters(t) {
 		if union[counter] == 0 {
 			t.Errorf("counter %s (%s) not exercised by any scenario", counter, cname)
 		}
 	}
+}
+
+// scenario2PC drives the cross-shard commit counters: a clean two-shard
+// commit pays one prepare record per shard (2pc_prepares), and a commit
+// wedged between its phases at a client that then crashes is reclaimed by
+// the survivors' presumed-abort rule (2pc_presumed_aborts).
+func scenario2PC(t *testing.T, add func(*sim.Stats)) {
+	wedge := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	tc := newShardCluster(t, PSAA, 2, 2, 4, resilientCfg, func(c *Config) {
+		c.TwoPCGate = func(home string, _ lock.TxID) {
+			if home == "c2" {
+				select {
+				case entered <- struct{}{}:
+				default:
+				}
+				<-wedge
+			}
+		}
+	})
+	defer add(tc.sys.Stats())
+
+	x := tc.clients[0].Begin()
+	writeVal(t, x, shardObj(1, 0, 0), "a")
+	writeVal(t, x, shardObj(2, 0, 0), "b")
+	mustCommit(t, x)
+
+	done := make(chan error, 1)
+	y := tc.clients[1].Begin()
+	writeVal(t, y, shardObj(1, 1, 0), "a")
+	writeVal(t, y, shardObj(2, 1, 0), "b")
+	go func() { done <- y.Commit() }()
+	<-entered
+	if err := tc.sys.CrashPeer("c2"); err != nil {
+		t.Fatal(err)
+	}
+	close(wedge)
+	<-done
+	waitUntil(t, 10*time.Second, func() bool {
+		return tc.shards[0].slog.PreparedCount() == 0 && tc.shards[1].slog.PreparedCount() == 0
+	}, "survivors to reclaim the crashed home's prepared transaction")
 }
 
 // scenarioGeneralWorkload covers the steady-state counters: reads, writes,

@@ -56,7 +56,7 @@ func faultPlanFor(kind string) *transport.FaultPlan {
 		return &transport.FaultPlan{Seed: 12, DupProb: 0.15}
 	case "delay":
 		return &transport.FaultPlan{Seed: 13, DelayProb: 0.15, Delay: 2 * time.Millisecond}
-	case "crash":
+	case "crash", "shardcrash":
 		return nil // runtime crash, no message faults
 	default:
 		panic("unknown fault kind " + kind)
@@ -78,7 +78,7 @@ func parseProtocol(t *testing.T, s string) Protocol {
 // messages, or killing a peer outright — the committed history must stay
 // serializable and no worker may hang.
 func TestFaultMatrix(t *testing.T) {
-	kinds := []string{"drop", "dup", "delay", "crash"}
+	kinds := []string{"drop", "dup", "delay", "crash", "shardcrash"}
 	protos := []Protocol{PS, PSOA, PSAA, PSAH}
 	txsPerClient := 12
 	if k := os.Getenv("FAULT_KIND"); k != "" {
@@ -92,9 +92,194 @@ func TestFaultMatrix(t *testing.T) {
 		for _, proto := range protos {
 			t.Run(kind+"/"+proto.String(), func(t *testing.T) {
 				watchdog(t, 4*time.Minute, func() {
+					if kind == "shardcrash" {
+						runShardCrashCell(t, proto, txsPerClient)
+						return
+					}
 					runFaultCell(t, kind, proto, txsPerClient)
 				})
 			})
+		}
+	}
+}
+
+// runShardCrashCell is the sharded fleet's crash cell: workers run
+// cross-shard transactions against two owner peers while a pinned client
+// is crashed exactly between its commit's prepare and decide phases. The
+// survivors must reclaim the prepared-but-undecided transaction by
+// presumed abort (no shard left in doubt), the committed history must stay
+// serializable across shards, and no worker may hang.
+func runShardCrashCell(t *testing.T, proto Protocol, txsPerClient int) {
+	victim := "c3"
+	wedge := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	opts := []func(*Config){resilientCfg, func(c *Config) {
+		c.PrepareResolveAfter = 300 * time.Millisecond
+		c.TwoPCGate = func(home string, _ lock.TxID) {
+			if home == victim {
+				select {
+				case entered <- struct{}{}:
+				default:
+				}
+				<-wedge
+			}
+		}
+	}}
+	var aud *audit.Auditor
+	if os.Getenv("FAULT_AUDIT") != "off" {
+		aud = audit.New()
+		opts = append(opts, func(c *Config) { c.Audit = aud })
+	}
+	// Page 3 of each shard is reserved for the victim's wedged transaction;
+	// the workers touch pages 0-2.
+	tc := newShardCluster(t, proto, 2, 3, 4, opts...)
+	stats := tc.sys.Stats()
+	hist := verify.NewHistory()
+	decode := func(raw []byte) verify.Version {
+		return verify.Version{Writer: string(bytes.TrimRight(raw, "\x00"))}
+	}
+
+	workers := tc.clients[:2]
+	var wg sync.WaitGroup
+	committed := make([]int, len(workers))
+	for ci, c := range workers {
+		wg.Add(1)
+		go func(ci int, p *Peer) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(ci)*11 + 5))
+			for n := 0; n < txsPerClient; n++ {
+				// Every transaction touches both shards, so each commit is a
+				// genuine two-phase one.
+				objs := []storage.ItemID{
+					shardObj(1, uint32(rng.Intn(3)), uint16(rng.Intn(4))),
+					shardObj(2, uint32(rng.Intn(3)), uint16(rng.Intn(4))),
+				}
+				for {
+					x := p.Begin()
+					rec := verify.TxRecord{Name: x.ID().String()}
+					failed := false
+					for _, obj := range objs {
+						raw, err := x.Read(obj)
+						if err != nil {
+							failed = true
+							break
+						}
+						op := verify.Op{Object: obj.String(), Read: decode(raw), DidRead: true}
+						if rng.Intn(2) == 0 {
+							if err := x.Write(obj, []byte(rec.Name)); err != nil {
+								failed = true
+								break
+							}
+							op.Wrote = true
+						}
+						rec.Ops = append(rec.Ops, op)
+					}
+					if !failed && x.Commit() == nil {
+						hist.Commit(rec)
+						committed[ci]++
+						break
+					}
+					_ = x.Abort()
+					time.Sleep(time.Duration(rng.Intn(3)+1) * time.Millisecond)
+				}
+			}
+		}(ci, c)
+	}
+
+	// The victim's cross-shard commit reaches the gate with both shards
+	// prepared; the crash lands exactly between the two phases.
+	pin := tc.clients[2].Begin()
+	if err := pin.Write(shardObj(1, 3, 0), []byte("doomed")); err != nil {
+		t.Fatalf("pin write: %v", err)
+	}
+	if err := pin.Write(shardObj(2, 3, 0), []byte("doomed")); err != nil {
+		t.Fatalf("pin write: %v", err)
+	}
+	pinDone := make(chan error, 1)
+	go func() { pinDone <- pin.Commit() }()
+	<-entered
+	if err := tc.sys.CrashPeer(victim); err != nil {
+		t.Fatal(err)
+	}
+	close(wedge)
+	<-pinDone
+
+	stopSweep := make(chan struct{})
+	var sweepWG sync.WaitGroup
+	if aud != nil {
+		sweepWG.Add(1)
+		go func() {
+			defer sweepWG.Done()
+			tick := time.NewTicker(75 * time.Millisecond)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopSweep:
+					return
+				case <-tick.C:
+					aud.Sweep()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if aud != nil {
+		close(stopSweep)
+		sweepWG.Wait()
+	}
+
+	for ci := range workers {
+		if committed[ci] != txsPerClient {
+			t.Errorf("worker %s committed %d/%d", workers[ci].Name(), committed[ci], txsPerClient)
+		}
+	}
+	if err := hist.Check(); err != nil {
+		var cyc *verify.CycleError
+		if errors.As(err, &cyc) {
+			t.Fatalf("%s under a shard-fleet crash produced a NON-SERIALIZABLE history: %v", proto, cyc.Cycle)
+		}
+		t.Fatalf("history check: %v", err)
+	}
+
+	// The reclaim assertions: the prepared-but-undecided transaction must
+	// be gone from every survivor, counted as a presumed abort, and its
+	// write must be invisible.
+	waitUntil(t, 10*time.Second, func() bool {
+		return tc.shards[0].slog.PreparedCount() == 0 && tc.shards[1].slog.PreparedCount() == 0
+	}, "survivors to reclaim the crashed home's prepared transaction")
+	if stats.Get(sim.Ctr2PCPrepares) == 0 {
+		t.Error("2pc_prepares = 0: the fleet never ran a cross-shard commit")
+	}
+	if stats.Get(sim.Ctr2PCPresumedAborts) == 0 {
+		t.Error("2pc_presumed_aborts = 0: the wedged transaction was not presumed aborted")
+	}
+	if stats.Get(sim.CtrCrashRecoveries) == 0 {
+		t.Error("peer crashed but no survivor reclaimed anything")
+	}
+	for _, p := range tc.sys.Peers() {
+		if p.Name() == victim {
+			continue
+		}
+		if txs := p.Locks().TxsBySite(victim); len(txs) != 0 {
+			t.Errorf("%s still holds locks of crashed %s: %v", p.Name(), victim, txs)
+		}
+	}
+	reader := tc.clients[0].Begin()
+	for _, obj := range []storage.ItemID{shardObj(1, 3, 0), shardObj(2, 3, 0)} {
+		raw, err := reader.Read(obj)
+		if err != nil {
+			t.Fatalf("post-crash read %v: %v", obj, err)
+		}
+		if string(bytes.TrimRight(raw, "\x00")) == "doomed" {
+			t.Errorf("prepared-but-undecided write visible at %v after reclaim", obj)
+		}
+	}
+	mustCommit(t, reader)
+
+	if aud != nil {
+		aud.Check()
+		if n := aud.Total(); n != 0 {
+			t.Errorf("%s under a shard-fleet crash violated consistency invariants:\n%s", proto, aud.Report())
 		}
 	}
 }
@@ -487,6 +672,53 @@ func TestCallbackTimeoutAbortsWriter(t *testing.T) {
 			t.Errorf("c2 reads %q after heal, want v2", got)
 		}
 		mustCommit(t, z)
+	})
+}
+
+// TestDeadClientFencedAfterStalls: with DeadClientStalls set, a client
+// that stays silent through consecutive zero-progress callback-round
+// stalls is declared dead and its copy-table residue reclaimed, so later
+// writers stop stalling on it — with no explicit CrashPeer call and no
+// heal. This is shored's protection against SIGKILLed clients whose
+// cached copies would otherwise poison every subsequent callback round
+// against the same pages, forever.
+func TestDeadClientFencedAfterStalls(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		tc := newCluster(t, PSOA, 2, 10, func(c *Config) {
+			c.RPCTimeout = 50 * time.Millisecond
+			c.CallbackTimeout = 150 * time.Millisecond
+			c.DeadClientStalls = 2
+		})
+		c1, c2 := tc.clients[0], tc.clients[1]
+
+		warm := c2.Begin()
+		readVal(t, warm, objID(2, 0)) // c2 now caches page 2
+		mustCommit(t, warm)
+
+		tc.sys.Net().PartitionLink("srv", "c2") // c2 goes silent for good
+
+		deadline := time.Now().Add(20 * time.Second)
+		committed := false
+		for time.Now().Before(deadline) {
+			x := c1.Begin()
+			if err := x.Write(objID(2, 0), []byte("v")); err != nil {
+				_ = x.Abort()
+				continue
+			}
+			if x.Commit() == nil {
+				committed = true
+				break
+			}
+		}
+		if !committed {
+			t.Fatal("writer never got past the silent caching client: fencing did not reclaim its copies")
+		}
+		if got := tc.sys.Stats().Get(sim.CtrCrashRecoveries); got == 0 {
+			t.Error("crash_recoveries = 0, want dead-client reclaim")
+		}
+		if !tc.sys.Net().Crashed("c2") {
+			t.Error("silent client not fenced at the transport")
+		}
 	})
 }
 

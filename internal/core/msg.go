@@ -6,6 +6,7 @@ import (
 
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
+	"adaptivecc/internal/placement"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/wal"
 )
@@ -24,11 +25,12 @@ const (
 type errCode string
 
 const (
-	errNone     errCode = ""
-	errDeadlock errCode = "deadlock"
-	errTimeout  errCode = "timeout"
-	errCanceled errCode = "canceled"
-	errOther    errCode = "error"
+	errNone      errCode = ""
+	errDeadlock  errCode = "deadlock"
+	errTimeout   errCode = "timeout"
+	errCanceled  errCode = "canceled"
+	errMisrouted errCode = "misrouted"
+	errOther     errCode = "error"
 )
 
 // ErrRemote wraps a non-sentinel failure reported by another peer.
@@ -44,6 +46,8 @@ func encodeErr(err error) (errCode, string) {
 		return errTimeout, err.Error()
 	case errors.Is(err, lock.ErrCanceled):
 		return errCanceled, err.Error()
+	case errors.Is(err, placement.ErrMisdirected):
+		return errMisrouted, err.Error()
 	default:
 		return errOther, err.Error()
 	}
@@ -59,6 +63,8 @@ func decodeErr(code errCode, detail string) error {
 		return lock.ErrTimeout
 	case errCanceled:
 		return lock.ErrCanceled
+	case errMisrouted:
+		return fmt.Errorf("%w: %s", placement.ErrMisdirected, detail)
 	default:
 		return fmt.Errorf("%w: %s", ErrRemote, detail)
 	}
@@ -159,13 +165,44 @@ type lockReq struct {
 type lockResp struct{}
 
 // prepareReq ships a transaction's log records to one owner (2PC phase 1).
+// Coord names the coordinator shard for a cross-shard transaction: the
+// participant writes a prepare record binding the transaction's fate to
+// that shard's decision. Empty for a single-owner commit, whose fate needs
+// no second phase — the owner's commit record alone decides it, exactly as
+// before sharding.
 type prepareReq struct {
 	Tx      lock.TxID
 	Records []wal.Record
+	Coord   string
 }
 
 // prepareResp is the owner's vote.
 type prepareResp struct{}
+
+// decideReq records a cross-shard transaction's fate at its coordinator
+// (the shard owning the first-written item). The coordinator's decision
+// record is the transaction's commit point; it refuses a decision that
+// contradicts one already recorded (e.g. a presumed abort written while
+// answering a status query).
+type decideReq struct {
+	Tx     lock.TxID
+	Commit bool
+}
+
+// decideResp acknowledges the recorded decision.
+type decideResp struct{}
+
+// statusReq asks a coordinator for a prepared transaction's fate. Under
+// presumed abort, a coordinator with no recorded decision answers — and
+// durably records — abort.
+type statusReq struct {
+	Tx lock.TxID
+}
+
+// statusResp carries the coordinator's recorded decision.
+type statusResp struct {
+	Commit bool
+}
 
 // finishReq finishes a transaction at one owner: commit (phase 2) or abort.
 type finishReq struct {
@@ -246,6 +283,10 @@ func reqName(body any) string {
 		return "lock"
 	case prepareReq:
 		return "prepare"
+	case decideReq:
+		return "decide"
+	case statusReq:
+		return "status"
 	case finishReq:
 		return "finish"
 	case releaseReq:

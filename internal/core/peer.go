@@ -56,6 +56,7 @@ type Peer struct {
 	nextOp     uint64
 	cbOps      map[uint64]*cbOp
 	pendingCB  map[storage.ItemID]lock.TxID // object -> calling-back tx
+	cbStalls   map[string]int               // client -> consecutive silent round stalls
 
 	// replicatedAt tracks, per local transaction, the owners at which its
 	// local-only locks have been replicated (callback-blocked replies,
@@ -145,6 +146,7 @@ func newPeer(s *System, name string, serverPoolPages, clientPoolPages int, vols 
 		pendingRPC:   make(map[uint64]chan rpcReply),
 		cbOps:        make(map[uint64]*cbOp),
 		pendingCB:    make(map[storage.ItemID]lock.TxID),
+		cbStalls:     make(map[string]int),
 		replicatedAt: make(map[lock.TxID]map[string]bool),
 		finished:     make(map[lock.TxID]bool),
 		finishedRing: make([]lock.TxID, finishedRingSize),
@@ -212,14 +214,10 @@ func (p *Peer) ServerPool() *buffer.Pool { return p.srvPool }
 // its work is done; the peer must not run further transactions afterwards.
 func (p *Peer) Detach() {
 	p.noticeEvictions(p.pool.EvictAll())
-	owners := make(map[string]bool)
-	for _, owner := range p.sys.owners {
+	for _, owner := range p.sys.place.Shards() {
 		if owner != p.name {
-			owners[owner] = true
+			p.flushPurges(owner)
 		}
-	}
-	for owner := range owners {
-		p.flushPurges(owner)
 	}
 }
 
@@ -230,6 +228,16 @@ func (p *Peer) ForceWAL() {
 	if p.slog != nil {
 		p.slog.Force()
 	}
+}
+
+// PreparedUndecided reports the number of prepared-but-undecided
+// cross-shard transactions in this peer's log — the in-doubt residue a
+// clean shutdown must have resolved to zero. Zero for client-role peers.
+func (p *Peer) PreparedUndecided() int {
+	if p.slog == nil {
+		return 0
+	}
+	return p.slog.PreparedCount()
 }
 
 // noteError records an asynchronous failure for LastError.
@@ -789,6 +797,24 @@ func (p *Peer) cbDedup(server string, opID uint64) bool {
 	return false
 }
 
+// noteCbStall records one zero-progress callback-round stall implicating
+// client and reports whether its consecutive-stall streak has reached the
+// Config.DeadClientStalls fencing threshold.
+func (p *Peer) noteCbStall(client string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.cbStalls[client]++
+	return p.cbStalls[client] >= p.cfg.DeadClientStalls
+}
+
+// noteCbAlive resets client's stall streak: any reply — ack or blocked —
+// proves the client is alive, however slow.
+func (p *Peer) noteCbAlive(client string) {
+	p.mu.Lock()
+	delete(p.cbStalls, client)
+	p.mu.Unlock()
+}
+
 // peerDown reclaims everything a crashed peer left at this peer, so the
 // survivors make progress instead of blocking on replies that will never
 // come. Callback rounds waiting on the dead client are completed with a
@@ -833,6 +859,12 @@ func (p *Peer) peerDown(dead string) {
 	for txid := range txs {
 		p.markFinished(txid)
 		if p.slog != nil {
+			if p.slog.IsPrepared(txid) {
+				// A prepared transaction homed at the dead peer can never be
+				// decided — its home drove the decide/finish rounds. Presumed
+				// abort reclaims it.
+				p.stats.Inc(sim.Ctr2PCPresumedAborts)
+			}
 			for _, rec := range p.slog.Abort(txid) {
 				p.undoOne(rec)
 			}
@@ -864,6 +896,80 @@ func (p *Peer) peerDown(dead string) {
 			p.obs.Emit(obs.EvCrashReclaim, "", dead, 0, "reclaimed state of dead peer")
 		}
 	}
+}
+
+// startResolver launches the background in-doubt resolver for an owning
+// peer: prepared cross-shard transactions whose decide/finish never
+// arrived are resolved by asking the coordinator — or, on coordinator
+// silence, by presumed abort. Requires the resilience discipline: without
+// bounded RPCs a status query against a dead coordinator would hang
+// forever. A no-op for client-role peers (no log) and non-resilient
+// configurations, so pre-sharding setups run not a single extra goroutine
+// iteration.
+func (p *Peer) startResolver() {
+	if p.slog == nil || !p.cfg.resilient() || p.cfg.PrepareResolveAfter <= 0 {
+		return
+	}
+	go p.resolveLoop()
+}
+
+func (p *Peer) resolveLoop() {
+	tick := p.cfg.RPCTimeout
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.sys.closed:
+			return
+		case <-t.C:
+			for _, pt := range p.slog.PreparedTxs() {
+				if time.Since(pt.Since) < p.cfg.PrepareResolveAfter {
+					continue
+				}
+				p.resolvePrepared(pt)
+			}
+		}
+	}
+}
+
+// resolvePrepared settles one aged in-doubt transaction. The coordinator's
+// recorded decision is authoritative: commit applies phase two here, and
+// anything else — a recorded abort, an unreachable coordinator, a dead
+// one — is presumed abort. When this peer is itself the coordinator, an
+// aged undecided prepare means the home never drove the decide round; the
+// abort decision is recorded first so a late commit request fails instead
+// of splitting the fate.
+func (p *Peer) resolvePrepared(pt wal.PreparedTx) {
+	if !p.slog.IsPrepared(pt.Tx) {
+		return // decided while the snapshot aged
+	}
+	commit := false
+	if pt.Coord == p.name {
+		commit = p.slog.DecisionOf(pt.Tx) == wal.DecisionCommit
+		if !commit {
+			_ = p.slog.Decide(pt.Tx, false)
+		}
+	} else if body, err := p.call(pt.Coord, obs.SpanContext{}, statusReq{Tx: pt.Tx}); err == nil {
+		if sr, ok := body.(statusResp); ok {
+			commit = sr.Commit
+		}
+	}
+	if !p.slog.IsPrepared(pt.Tx) {
+		return // a finish arrived while we asked around
+	}
+	p.markFinished(pt.Tx)
+	if commit {
+		p.slog.CommitForce(pt.Tx)
+	} else {
+		p.stats.Inc(sim.Ctr2PCPresumedAborts)
+		for _, rec := range p.slog.Abort(pt.Tx) {
+			p.undoOne(rec)
+		}
+	}
+	p.locks.ReleaseAll(pt.Tx)
 }
 
 // setPendingCB marks an in-progress callback operation on an object, used

@@ -8,6 +8,7 @@ import (
 	"adaptivecc/internal/consistency"
 	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
+	"adaptivecc/internal/placement"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/wal"
@@ -29,6 +30,10 @@ func (p *Peer) serveRequest(from string, sc obs.SpanContext, body any) (any, err
 		return p.srvLock(from, sc, rq)
 	case prepareReq:
 		return p.srvPrepare(sc, rq)
+	case decideReq:
+		return p.srvDecide(rq)
+	case statusReq:
+		return p.srvStatus(rq)
 	case finishReq:
 		return p.srvFinish(from, sc, rq)
 	case releaseReq:
@@ -38,6 +43,17 @@ func (p *Peer) serveRequest(from string, sc obs.SpanContext, body any) (any, err
 	default:
 		return nil, fmt.Errorf("core: unknown request %T", body)
 	}
+}
+
+// checkOwns rejects a request for an item this peer does not own with the
+// typed misdirection error: a client routing on a stale or corrupt
+// placement map must learn its map is wrong, not be silently served from
+// the wrong authority.
+func (p *Peer) checkOwns(item storage.ItemID) error {
+	if p.owns(item) {
+		return nil
+	}
+	return fmt.Errorf("%w: peer %s does not own %v", placement.ErrMisdirected, p.name, item)
 }
 
 // srvRead serves a read request: deescalate foreign adaptive locks, lock
@@ -50,6 +66,9 @@ func (p *Peer) srvRead(from string, sc obs.SpanContext, rq readReq) (any, error)
 	obj := rq.Obj
 	pageID := obj.PageID()
 
+	if err := p.checkOwns(obj); err != nil {
+		return nil, err
+	}
 	if err := p.srvDeescalate(pageID, from, sc); err != nil {
 		return nil, err
 	}
@@ -97,6 +116,9 @@ func (p *Peer) srvWrite(from string, sc obs.SpanContext, rq writeReq) (any, erro
 	obj := rq.Obj
 	pageID := obj.PageID()
 
+	if err := p.checkOwns(obj); err != nil {
+		return nil, err
+	}
 	if err := p.srvDeescalate(pageID, from, sc); err != nil {
 		return nil, err
 	}
@@ -161,6 +183,9 @@ func (p *Peer) srvWrite(from string, sc obs.SpanContext, rq writeReq) (any, erro
 // and page IS/IX/SIX/EX modes (explicit SH page locks travel as whole-page
 // reads).
 func (p *Peer) srvLock(from string, sc obs.SpanContext, rq lockReq) (any, error) {
+	if err := p.checkOwns(rq.Item); err != nil {
+		return nil, err
+	}
 	if err := p.lockGuarded(rq.Tx, rq.Item, rq.Mode, lock.Options{Timeout: p.waitTimeout(), Span: sc}); err != nil {
 		return nil, err
 	}
@@ -194,17 +219,58 @@ func (p *Peer) srvLock(from string, sc obs.SpanContext, rq lockReq) (any, error)
 }
 
 // srvPrepare is 2PC phase one at an owner: force the records to the log
-// and redo them into the server buffer.
+// and redo them into the server buffer. For a cross-shard transaction
+// (rq.Coord != "") a prepare record is also forced, binding this shard to
+// the coordinator's decision until a decide or status answer arrives.
 func (p *Peer) srvPrepare(sc obs.SpanContext, rq prepareReq) (any, error) {
 	if p.slog == nil {
 		return nil, fmt.Errorf("core: peer %s owns no volumes", p.name)
 	}
+	for _, rec := range rq.Records {
+		if err := p.checkOwns(rec.Object); err != nil {
+			return nil, err
+		}
+	}
 	p.appendAndRedo(rq.Records, sc)
+	if rq.Coord != "" {
+		p.slog.Prepare(rq.Tx, rq.Coord)
+		p.stats.Inc(sim.Ctr2PCPrepares)
+	}
 	return prepareResp{}, nil
+}
+
+// srvDecide records a cross-shard transaction's fate at this peer, acting
+// as coordinator. The decision is immutable once forced: a commit arriving
+// after a presumed abort was recorded (or vice versa) is an error reported
+// back to the home site.
+func (p *Peer) srvDecide(rq decideReq) (any, error) {
+	if p.slog == nil {
+		return nil, fmt.Errorf("core: peer %s owns no volumes", p.name)
+	}
+	if err := p.slog.Decide(rq.Tx, rq.Commit); err != nil {
+		return nil, err
+	}
+	return decideResp{}, nil
+}
+
+// srvStatus answers a participant's recovery query about a prepared
+// transaction coordinated here. Under presumed abort, no recorded decision
+// means abort — and that answer is made durable before it is given out.
+func (p *Peer) srvStatus(rq statusReq) (any, error) {
+	if p.slog == nil {
+		return nil, fmt.Errorf("core: peer %s owns no volumes", p.name)
+	}
+	return statusResp{Commit: p.slog.ResolveStatus(rq.Tx) == wal.DecisionCommit}, nil
 }
 
 // srvFinish is 2PC phase two (commit) or an abort at an owner.
 func (p *Peer) srvFinish(from string, sc obs.SpanContext, rq finishReq) (any, error) {
+	// Decision wins: if this peer coordinated the transaction and durably
+	// recorded commit, a late abort (e.g. the home site died after the
+	// decide round and a survivor guessed wrong) must not undo it.
+	if !rq.Commit && p.slog != nil && p.slog.DecisionOf(rq.Tx) == wal.DecisionCommit {
+		rq.Commit = true
+	}
 	p.markFinished(rq.Tx)
 	if rq.Commit {
 		if p.slog != nil {

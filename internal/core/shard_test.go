@@ -1,0 +1,317 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/lock"
+	"adaptivecc/internal/placement"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/storage"
+	"adaptivecc/internal/wal"
+)
+
+// shardCluster builds numShards owner peers ("s1".."sN"), shard si owning
+// volume i of numPages pages, plus client peers owning nothing — the
+// smallest fleet whose cross-shard transactions need a real second commit
+// phase.
+type shardCluster struct {
+	sys     *System
+	shards  []*Peer
+	clients []*Peer
+}
+
+func newShardCluster(t *testing.T, proto Protocol, numShards, numClients, numPages int, opts ...func(*Config)) *shardCluster {
+	t.Helper()
+	cfg := Config{
+		Protocol:        proto,
+		Costs:           sim.DefaultCosts(0),
+		ObjectsPerPage:  4,
+		ObjectSize:      16,
+		ClientPoolPages: 64,
+		ServerPoolPages: 128,
+		UseTimeouts:     true,
+		AdaptiveTimeout: false,
+		FixedTimeout:    5 * time.Second,
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	sys := NewSystem(cfg)
+	stats := sys.Stats()
+	sc := &shardCluster{sys: sys}
+	for i := 1; i <= numShards; i++ {
+		vol := storage.NewVolume(storage.VolumeID(i), cfg.Costs, stats)
+		if _, err := vol.CreateFile(1, 0, uint32(numPages), cfg.ObjectsPerPage, cfg.ObjectSize); err != nil {
+			t.Fatal(err)
+		}
+		sys.Directory().AddExtent(storage.VolumeID(i), 1, 0, uint32(numPages))
+		p, err := sys.AddPeer(fmt.Sprintf("s%d", i), vol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.shards = append(sc.shards, p)
+	}
+	for i := 0; i < numClients; i++ {
+		c, err := sys.AddPeer(fmt.Sprintf("c%d", i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.clients = append(sc.clients, c)
+	}
+	t.Cleanup(sys.Close)
+	return sc
+}
+
+// shardObj addresses slot `slot` of page `page` in shard vol's single file.
+func shardObj(vol storage.VolumeID, page uint32, slot uint16) storage.ItemID {
+	return storage.ObjectItem(vol, 1, page, slot)
+}
+
+// waitUntil polls cond until it holds or the deadline passes.
+func waitUntil(t *testing.T, d time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestCrossShardCommitTwoPhase commits a transaction spanning two shards
+// and checks the full 2PC footprint: one prepare per shard, a recorded
+// commit decision at the coordinator (the shard owning the first-written
+// item), no prepared-but-undecided residue, and the values visible to a
+// second client on both shards.
+func TestCrossShardCommitTwoPhase(t *testing.T) {
+	tc := newShardCluster(t, PSAA, 2, 2, 4, resilientCfg)
+	stats := tc.sys.Stats()
+
+	x := tc.clients[0].Begin()
+	writeVal(t, x, shardObj(1, 0, 0), "alpha")
+	writeVal(t, x, shardObj(2, 0, 0), "beta")
+	mustCommit(t, x)
+
+	if got := stats.Get(sim.Ctr2PCPrepares); got != 2 {
+		t.Errorf("2pc_prepares = %d, want 2 (one per shard)", got)
+	}
+	// Coordinator = owner of the first-written item = s1.
+	if d := tc.shards[0].slog.DecisionOf(x.ID()); d != wal.DecisionCommit {
+		t.Errorf("coordinator decision = %v, want commit", d)
+	}
+	for _, s := range tc.shards {
+		if n := s.slog.PreparedCount(); n != 0 {
+			t.Errorf("%s left %d prepared transactions after commit", s.Name(), n)
+		}
+	}
+
+	y := tc.clients[1].Begin()
+	if got := readVal(t, y, shardObj(1, 0, 0)); got != "alpha" {
+		t.Errorf("shard 1 reads %q, want alpha", got)
+	}
+	if got := readVal(t, y, shardObj(2, 0, 0)); got != "beta" {
+		t.Errorf("shard 2 reads %q, want beta", got)
+	}
+	mustCommit(t, y)
+}
+
+// TestSingleShardCommitSkipsSecondPhase pins the parity guarantee: a
+// transaction whose updates all land on one shard must not pay a prepare
+// record or a decide round even in a multi-shard fleet.
+func TestSingleShardCommitSkipsSecondPhase(t *testing.T) {
+	tc := newShardCluster(t, PSAA, 2, 1, 4, resilientCfg)
+
+	x := tc.clients[0].Begin()
+	writeVal(t, x, shardObj(1, 0, 0), "solo")
+	writeVal(t, x, shardObj(1, 1, 0), "solo2")
+	mustCommit(t, x)
+
+	if got := tc.sys.Stats().Get(sim.Ctr2PCPrepares); got != 0 {
+		t.Errorf("2pc_prepares = %d on a single-shard commit, want 0", got)
+	}
+	if d := tc.shards[0].slog.DecisionOf(x.ID()); d != wal.DecisionUnknown {
+		t.Errorf("single-shard commit recorded a 2PC decision (%v)", d)
+	}
+}
+
+// TestMisdirectedRequestRejected routes every request to the wrong shard
+// via a deliberately corrupt placement map: the server must answer with
+// the typed misdirection error, which must survive the wire.
+func TestMisdirectedRequestRejected(t *testing.T) {
+	swap := placement.NewTable()
+	swap.SetVolume(1, "s2") // wrong on purpose: s1 owns volume 1
+	swap.SetVolume(2, "s1")
+	tc := newShardCluster(t, PSAA, 2, 1, 4, func(c *Config) {
+		c.Placement = swap
+	})
+
+	x := tc.clients[0].Begin()
+	_, err := x.Read(shardObj(1, 0, 0))
+	if !errors.Is(err, placement.ErrMisdirected) {
+		t.Fatalf("misdirected read: %v, want placement.ErrMisdirected", err)
+	}
+	err = x.Write(shardObj(2, 0, 0), []byte("v"))
+	if !errors.Is(err, placement.ErrMisdirected) {
+		t.Fatalf("misdirected write: %v, want placement.ErrMisdirected", err)
+	}
+	_ = x.Abort()
+}
+
+// TestResolverPresumesAbortOnSilentHome wedges a cross-shard commit
+// between its phases forever: both participants hold prepared
+// transactions whose decide round never comes. The background resolver
+// must settle them — the coordinator records abort for its own aged
+// prepare, the other shard learns abort from a status query — and the
+// late decide must then fail instead of splitting the fate.
+func TestResolverPresumesAbortOnSilentHome(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		wedge := make(chan struct{})
+		entered := make(chan struct{}, 1)
+		tc := newShardCluster(t, PSAA, 2, 1, 4, resilientCfg, func(c *Config) {
+			c.PrepareResolveAfter = 150 * time.Millisecond
+			c.TwoPCGate = func(home string, _ lock.TxID) {
+				select {
+				case entered <- struct{}{}:
+				default:
+				}
+				<-wedge
+			}
+		})
+		stats := tc.sys.Stats()
+
+		done := make(chan error, 1)
+		x := tc.clients[0].Begin()
+		writeVal(t, x, shardObj(1, 2, 0), "doomed")
+		writeVal(t, x, shardObj(2, 2, 0), "doomed")
+		go func() { done <- x.Commit() }()
+		<-entered
+
+		waitUntil(t, 10*time.Second, func() bool {
+			return tc.shards[0].slog.PreparedCount() == 0 && tc.shards[1].slog.PreparedCount() == 0
+		}, "resolver to settle both prepared transactions")
+		if got := stats.Get(sim.Ctr2PCPresumedAborts); got == 0 {
+			t.Error("2pc_presumed_aborts = 0 after resolver settled in-doubt transactions")
+		}
+		if d := tc.shards[0].slog.DecisionOf(x.ID()); d != wal.DecisionAbort {
+			t.Errorf("coordinator decision = %v, want abort", d)
+		}
+
+		// Release the wedged home: its decide must be refused, the commit
+		// must fail, and the write must not be visible anywhere.
+		close(wedge)
+		if err := <-done; err == nil {
+			t.Fatal("commit succeeded after the coordinator presumed abort")
+		}
+		y := tc.clients[0].Begin()
+		if got := readVal(t, y, shardObj(1, 2, 0)); got == "doomed" {
+			t.Error("aborted cross-shard write visible on shard 1")
+		}
+		if got := readVal(t, y, shardObj(2, 2, 0)); got == "doomed" {
+			t.Error("aborted cross-shard write visible on shard 2")
+		}
+		mustCommit(t, y)
+	})
+}
+
+// TestCrossShardDeadlockResolvesByAdaptiveTimeout builds the deadlock no
+// single shard can see: transaction A holds an EX lock on shard 1 and
+// wants one on shard 2; B holds shard 2's and wants shard 1's. Each
+// shard's waits-for graph has one edge and no cycle, so local detection
+// stays silent; the adaptive lock-wait timeout must break the cycle. The
+// trackers are warmed first, so the firing timeout is the mean+stddev
+// heuristic, not the cold-start ceiling.
+func TestCrossShardDeadlockResolvesByAdaptiveTimeout(t *testing.T) {
+	watchdog(t, time.Minute, func() {
+		tc := newShardCluster(t, PSAA, 2, 2, 4, resilientCfg, func(c *Config) {
+			c.AdaptiveTimeout = true
+			c.TimeoutFloor = 100 * time.Millisecond
+			c.TimeoutCeil = 20 * time.Second
+			c.FixedTimeout = 0
+		})
+		stats := tc.sys.Stats()
+		c1, c2 := tc.clients[0], tc.clients[1]
+		objA := shardObj(1, 0, 0)
+		objB := shardObj(2, 0, 0)
+
+		// Warm the wait trackers with short real conflicts so the adaptive
+		// timeout derives from history instead of the ceiling.
+		for i := 0; i < 6; i++ {
+			h := c1.Begin()
+			writeVal(t, h, objA, "warm")
+			writeVal(t, h, objB, "warm")
+			first := objA // even rounds conflict at shard 1, odd at shard 2
+			if i%2 == 1 {
+				first = objB
+			}
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				w := c2.Begin()
+				if err := w.Write(first, []byte("warm2")); err == nil {
+					_ = w.Commit()
+				} else {
+					_ = w.Abort()
+				}
+			}()
+			time.Sleep(20 * time.Millisecond)
+			mustCommit(t, h)
+			wg.Wait()
+		}
+		for _, s := range tc.shards {
+			if s.waits.Count() == 0 {
+				t.Fatalf("%s observed no lock waits during warmup", s.Name())
+			}
+			if got := s.waits.Timeout(); got >= 20*time.Second {
+				t.Fatalf("%s adaptive timeout %v still at the ceiling", s.Name(), got)
+			}
+		}
+
+		deadlocksBefore := stats.Get(sim.CtrDeadlockAborts)
+		timeoutsBefore := stats.Get(sim.CtrTimeoutAborts)
+
+		a := c1.Begin()
+		b := c2.Begin()
+		writeVal(t, a, objA, "A") // A holds shard 1
+		writeVal(t, b, objB, "B") // B holds shard 2
+
+		var wg sync.WaitGroup
+		errs := make([]error, 2)
+		wg.Add(2)
+		go func() { defer wg.Done(); errs[0] = a.Write(objB, []byte("A")) }()
+		go func() { defer wg.Done(); errs[1] = b.Write(objA, []byte("B")) }()
+		wg.Wait()
+
+		aborted := 0
+		for _, err := range errs {
+			if err != nil {
+				if !errors.Is(err, lock.ErrTimeout) {
+					t.Errorf("deadlocked write failed with %v, want lock.ErrTimeout", err)
+				}
+				aborted++
+			}
+		}
+		if aborted == 0 {
+			t.Fatal("cross-shard deadlock resolved with neither writer timing out")
+		}
+		if got := stats.Get(sim.CtrTimeoutAborts); got == timeoutsBefore {
+			t.Error("timeout_aborts did not move")
+		}
+		if got := stats.Get(sim.CtrDeadlockAborts); got != deadlocksBefore {
+			t.Error("local deadlock detection fired on a cross-shard cycle it cannot see")
+		}
+		_ = a.Abort()
+		_ = b.Abort()
+
+		// The survivor (if any) can finish once the victim released.
+		z := c1.Begin()
+		writeVal(t, z, objA, "done")
+		writeVal(t, z, objB, "done")
+		mustCommit(t, z)
+	})
+}

@@ -24,6 +24,8 @@ func init() {
 	transport.RegisterWireType(writeReq{})
 	transport.RegisterWireType(lockReq{})
 	transport.RegisterWireType(prepareReq{})
+	transport.RegisterWireType(decideReq{})
+	transport.RegisterWireType(statusReq{})
 	transport.RegisterWireType(finishReq{})
 	transport.RegisterWireType(releaseReq{})
 	transport.RegisterWireType(deescReq{})
@@ -33,6 +35,8 @@ func init() {
 	transport.RegisterWireType(writeResp{})
 	transport.RegisterWireType(lockResp{})
 	transport.RegisterWireType(prepareResp{})
+	transport.RegisterWireType(decideResp{})
+	transport.RegisterWireType(statusResp{})
 	transport.RegisterWireType(finishResp{})
 	transport.RegisterWireType(releaseResp{})
 	transport.RegisterWireType(deescResp{})

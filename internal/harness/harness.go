@@ -74,6 +74,13 @@ type Platform struct {
 	// GroupCommit absorbs concurrent log forces at each owner into shared
 	// disk writes within a bounded wait window. Off by default.
 	GroupCommit bool
+	// Shards splits the client-server database across this many owner
+	// servers ("srv1".."srvN", volume i at shard i), each holding an equal
+	// contiguous slice of the pages and an equal share of the server
+	// buffer. 0 or 1 keeps the single "srv" build — the exact pre-sharding
+	// code path, so committed figure outputs stay bit-identical. Ignored
+	// in peer-servers mode, which is already partitioned.
+	Shards int
 }
 
 // observing reports whether any consumer needs the event pipeline on.
@@ -225,16 +232,31 @@ func buildCluster(exp Experiment, plat Platform) (*cluster, error) {
 
 	switch exp.Mode {
 	case ClientServer:
-		cfg.ClientPoolPages = clientPool
-		cfg.ServerPoolPages = int(float64(dbPages) * plat.ServerBufFrac)
-		sys := core.NewSystem(cfg)
-		vol := storage.NewVolume(1, costs, sys.Stats())
-		if _, err := vol.CreateFile(1, 0, dbPages, plat.ObjectsPerPage, cfg.ObjectSize); err != nil {
-			return nil, err
+		shards := plat.Shards
+		if shards < 1 {
+			shards = 1
 		}
-		sys.Directory().AddExtent(1, 1, 0, dbPages)
-		if _, err := sys.AddPeer("srv", vol); err != nil {
-			return nil, err
+		cfg.ClientPoolPages = clientPool
+		cfg.ServerPoolPages = int(float64(dbPages) * plat.ServerBufFrac / float64(shards))
+		sys := core.NewSystem(cfg)
+		slice := dbPages / uint32(shards)
+		for s := 1; s <= shards; s++ {
+			cnt := slice
+			if s == shards {
+				cnt = dbPages - slice*uint32(shards-1)
+			}
+			vol := storage.NewVolume(storage.VolumeID(s), costs, sys.Stats())
+			if _, err := vol.CreateFile(1, 0, cnt, plat.ObjectsPerPage, cfg.ObjectSize); err != nil {
+				return nil, err
+			}
+			sys.Directory().AddExtent(storage.VolumeID(s), 1, 0, cnt)
+			name := "srv"
+			if shards > 1 {
+				name = fmt.Sprintf("srv%d", s)
+			}
+			if _, err := sys.AddPeer(name, vol); err != nil {
+				return nil, err
+			}
 		}
 		c := &cluster{sys: sys, plat: plat, costs: costs, aud: aud}
 		for i := 0; i < plat.NumApplications; i++ {

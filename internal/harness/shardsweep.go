@@ -1,0 +1,69 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"adaptivecc/internal/sim"
+)
+
+// ShardPoint is one cell of a fleet-scaling sweep: the same experiment run
+// against a client-server platform split across Shards owner servers.
+type ShardPoint struct {
+	Shards int
+	Result Result
+}
+
+// ShardSweepResult is a Figure-6-style sweep with fleet size, rather than
+// write probability, on the x-axis.
+type ShardSweepResult struct {
+	Experiment Experiment
+	Points     []ShardPoint
+}
+
+// RunShardSweep reproduces one experiment at each fleet size. Every point
+// rebuilds the platform from scratch with the database split across n
+// shards; a 1-shard point is exactly the unsharded build, anchoring the
+// sweep to the committed single-server figures. Client-server mode only:
+// peer-servers is already partitioned (its peers are its shards).
+func RunShardSweep(exp Experiment, plat Platform, shardCounts []int, progress func(string)) (ShardSweepResult, error) {
+	if exp.Mode != ClientServer {
+		return ShardSweepResult{}, fmt.Errorf("harness: shard sweeps are client-server only, got %v", exp.Mode)
+	}
+	out := ShardSweepResult{Experiment: exp}
+	for _, n := range shardCounts {
+		if n < 1 {
+			return ShardSweepResult{}, fmt.Errorf("harness: shard count %d", n)
+		}
+		if progress != nil {
+			progress(fmt.Sprintf("shards=%d %s %s w=%.2f", n, exp.Protocol, exp.Workload, exp.WriteProb))
+		}
+		p := plat
+		p.Shards = n
+		res, err := Run(exp, p)
+		if err != nil {
+			return ShardSweepResult{}, fmt.Errorf("harness: shards=%d: %w", n, err)
+		}
+		out.Points = append(out.Points, ShardPoint{Shards: n, Result: res})
+	}
+	return out, nil
+}
+
+// Render formats the sweep as a throughput table over fleet sizes, with
+// the per-commit operation rates and the cross-shard commit footprint
+// (prepares per commit) that explains the scaling shape.
+func (sr ShardSweepResult) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Shard sweep — %s %s w=%.2f [%s]\n", sr.Experiment.Protocol, sr.Experiment.Workload, sr.Experiment.WriteProb, sr.Experiment.Mode)
+	fmt.Fprintf(&b, "%8s %12s %10s %10s %10s %10s\n", "shards", "tx/sec", "msgs/c", "disk/c", "2pc/c", "aborts")
+	for _, pt := range sr.Points {
+		r := pt.Result
+		prepPerCommit := 0.0
+		if r.Commits > 0 {
+			prepPerCommit = float64(r.Counters[sim.Ctr2PCPrepares]) / float64(r.Commits)
+		}
+		fmt.Fprintf(&b, "%8d %12.1f %10.1f %10.1f %10.2f %10d\n",
+			pt.Shards, r.Throughput, r.MessagesPerCommit, r.DiskIOPerCommit, prepPerCommit, r.Aborts)
+	}
+	return b.String()
+}

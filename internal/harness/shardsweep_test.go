@@ -1,0 +1,60 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"adaptivecc/internal/core"
+	"adaptivecc/internal/sim"
+	"adaptivecc/internal/workload"
+)
+
+// TestRunShardSweep runs the Figure-6-style fleet sweep at 1/2/4/8 shards
+// in-process: every point must commit work, and the multi-shard points
+// must actually pay cross-shard prepares (the workload spans the whole
+// page space, so shard-crossing transactions are guaranteed).
+func TestRunShardSweep(t *testing.T) {
+	exp := Experiment{
+		Workload:  workload.HotCold,
+		WriteProb: 0.2,
+		Protocol:  core.PSAA,
+		Mode:      ClientServer,
+		Warmup:    150 * time.Millisecond,
+		Measure:   600 * time.Millisecond,
+	}
+	sweep, err := RunShardSweep(exp, fastPlatform(), []int{1, 2, 4, 8}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sweep.Points) != 4 {
+		t.Fatalf("sweep produced %d points, want 4", len(sweep.Points))
+	}
+	for _, pt := range sweep.Points {
+		r := pt.Result
+		if r.Commits == 0 {
+			t.Errorf("shards=%d: no commits in measurement window", pt.Shards)
+		}
+		prepares := r.Counters[sim.Ctr2PCPrepares]
+		if pt.Shards == 1 && prepares != 0 {
+			t.Errorf("shards=1 paid %d 2PC prepares; single-shard parity broken", prepares)
+		}
+		if pt.Shards > 1 && prepares == 0 {
+			t.Errorf("shards=%d: no cross-shard prepares; the fleet never ran a 2PC commit", pt.Shards)
+		}
+		t.Logf("shards=%d: %.1f tps, %d commits, %d prepares, %d aborts",
+			pt.Shards, r.Throughput, r.Commits, prepares, r.Aborts)
+	}
+	out := sweep.Render()
+	if !strings.Contains(out, "Shard sweep") || !strings.Contains(out, "2pc/c") {
+		t.Errorf("render missing headers:\n%s", out)
+	}
+}
+
+// TestRunShardSweepRejectsPeerServers pins the mode gate.
+func TestRunShardSweepRejectsPeerServers(t *testing.T) {
+	_, err := RunShardSweep(Experiment{Mode: PeerServers}, fastPlatform(), []int{1}, nil)
+	if err == nil {
+		t.Fatal("peer-servers sweep accepted")
+	}
+}

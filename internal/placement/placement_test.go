@@ -1,0 +1,183 @@
+package placement
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"adaptivecc/internal/storage"
+)
+
+// randomItems generates a deterministic pseudo-random item population
+// spanning all four grains.
+func randomItems(seed int64, n int) []storage.ItemID {
+	rng := rand.New(rand.NewSource(seed))
+	items := make([]storage.ItemID, 0, n)
+	for i := 0; i < n; i++ {
+		vol := storage.VolumeID(rng.Intn(4) + 1)
+		file := uint32(rng.Intn(3) + 1)
+		page := uint32(rng.Intn(512))
+		switch rng.Intn(4) {
+		case 0:
+			items = append(items, storage.VolumeItem(vol))
+		case 1:
+			items = append(items, storage.FileItem(vol, file))
+		case 2:
+			items = append(items, storage.PageItem(vol, file, page))
+		default:
+			items = append(items, storage.ObjectItem(vol, file, page, uint16(rng.Intn(20))))
+		}
+	}
+	return items
+}
+
+// Property: every item routes to exactly one shard — the lookup succeeds,
+// the result is a member of the configured shard list, and repeating the
+// lookup never changes the answer.
+func TestHashEveryItemRoutesToExactlyOneShard(t *testing.T) {
+	shards := []string{"srv1", "srv2", "srv3", "srv4"}
+	h, err := NewHash(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := make(map[string]bool)
+	for _, s := range shards {
+		member[s] = true
+	}
+	hit := make(map[string]int)
+	for _, item := range randomItems(7, 4000) {
+		owner, err := h.Owner(item)
+		if err != nil {
+			t.Fatalf("Owner(%v): %v", item, err)
+		}
+		if !member[owner] {
+			t.Fatalf("Owner(%v) = %q, not in shard list", item, owner)
+		}
+		again, _ := h.Owner(item)
+		if again != owner {
+			t.Fatalf("Owner(%v) unstable: %q then %q", item, owner, again)
+		}
+		hit[owner]++
+	}
+	for _, s := range shards {
+		if hit[s] == 0 {
+			t.Fatalf("shard %s received no items — degenerate distribution: %v", s, hit)
+		}
+	}
+}
+
+// Property: object-grain items route with their page. The page is the
+// protocol's transfer and callback unit, so every slot of a page must land
+// on the same shard as the page itself.
+func TestHashObjectsRouteWithTheirPage(t *testing.T) {
+	h, err := NewHash([]string{"a", "b", "c"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for page := uint32(0); page < 300; page++ {
+		pageOwner, _ := h.Owner(storage.PageItem(1, 1, page))
+		for slot := uint16(0); slot < 4; slot++ {
+			objOwner, _ := h.Owner(storage.ObjectItem(1, 1, page, slot))
+			if objOwner != pageOwner {
+				t.Fatalf("page %d owned by %s but slot %d routed to %s", page, pageOwner, slot, objOwner)
+			}
+		}
+	}
+}
+
+// Property: re-keying — rebuilding a map from the same configuration —
+// yields element-wise identical routing for both implementations.
+func TestRekeyingSelfConsistency(t *testing.T) {
+	shards := []string{"s1", "s2", "s3"}
+	h1, _ := NewHash(shards)
+	h2, _ := NewHash(append([]string(nil), shards...))
+
+	build := func() *Table {
+		tb := NewTable()
+		tb.SetVolume(1, "s1")
+		tb.SetVolume(2, "s2")
+		tb.SetFile(1, 2, "s3")
+		tb.SetPage(1, 1, 17, "s2")
+		return tb
+	}
+	t1, t2 := build(), build()
+
+	for _, item := range randomItems(11, 4000) {
+		ha, ea := h1.Owner(item)
+		hb, eb := h2.Owner(item)
+		if ha != hb || (ea == nil) != (eb == nil) {
+			t.Fatalf("hash maps disagree on %v: %q/%v vs %q/%v", item, ha, ea, hb, eb)
+		}
+		ta, ea := t1.Owner(item)
+		tb, eb := t2.Owner(item)
+		if ta != tb || (ea == nil) != (eb == nil) {
+			t.Fatalf("tables disagree on %v: %q/%v vs %q/%v", item, ta, ea, tb, eb)
+		}
+	}
+}
+
+func TestTableMostSpecificWins(t *testing.T) {
+	tb := NewTable()
+	tb.SetVolume(1, "coarse")
+	tb.SetFile(1, 2, "file-owner")
+	tb.SetPage(1, 2, 9, "page-owner")
+
+	cases := []struct {
+		item storage.ItemID
+		want string
+	}{
+		{storage.VolumeItem(1), "coarse"},
+		{storage.FileItem(1, 1), "coarse"},
+		{storage.FileItem(1, 2), "file-owner"},
+		{storage.PageItem(1, 2, 8), "file-owner"},
+		{storage.PageItem(1, 2, 9), "page-owner"},
+		{storage.ObjectItem(1, 2, 9, 3), "page-owner"},
+		{storage.ObjectItem(1, 1, 9, 3), "coarse"},
+	}
+	for _, c := range cases {
+		got, err := tb.Owner(c.item)
+		if err != nil {
+			t.Fatalf("Owner(%v): %v", c.item, err)
+		}
+		if got != c.want {
+			t.Errorf("Owner(%v) = %q, want %q", c.item, got, c.want)
+		}
+	}
+}
+
+func TestTableUnplacedVolumeIsTypedError(t *testing.T) {
+	tb := NewTable()
+	tb.SetVolume(1, "s1")
+	if _, err := tb.Owner(storage.PageItem(9, 1, 0)); !errors.Is(err, ErrUnplaced) {
+		t.Fatalf("want ErrUnplaced for unknown volume, got %v", err)
+	}
+}
+
+func TestShardsEnumeration(t *testing.T) {
+	tb := NewTable()
+	tb.SetVolume(2, "beta")
+	tb.SetVolume(1, "alpha")
+	tb.SetPage(1, 1, 3, "gamma")
+	got := tb.Shards()
+	want := []string{"alpha", "beta", "gamma"}
+	if len(got) != len(want) {
+		t.Fatalf("Shards() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Shards() = %v, want %v", got, want)
+		}
+	}
+
+	h, _ := NewHash([]string{"z", "a"})
+	hs := h.Shards()
+	if len(hs) != 2 || hs[0] != "a" || hs[1] != "z" {
+		t.Fatalf("hash Shards() = %v, want sorted [a z]", hs)
+	}
+}
+
+func TestNewHashRejectsEmptyShardList(t *testing.T) {
+	if _, err := NewHash(nil); err == nil {
+		t.Fatal("NewHash(nil) should fail")
+	}
+}

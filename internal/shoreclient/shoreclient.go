@@ -15,20 +15,35 @@ import (
 	"time"
 
 	"adaptivecc/internal/core"
+	"adaptivecc/internal/lock"
 	"adaptivecc/internal/obs"
 	"adaptivecc/internal/sim"
 	"adaptivecc/internal/storage"
 	"adaptivecc/internal/transport"
 )
 
-// Options configures a connection to a shored server. The zero value of
-// every field except Addr is usable.
+// Endpoint names one shard of a sharded fleet: a shored process serving
+// one volume holding a contiguous slice of the global page space.
+type Endpoint struct {
+	Name   string           // shard peer name (shored -name / -shard default "srv<i>")
+	Addr   string           // shard listen address
+	Volume storage.VolumeID // shard volume ID (shored -shard i/N serves volume i)
+	Pages  uint32           // pages on this shard
+}
+
+// Options configures a connection to a shored server or fleet. The zero
+// value of every field except Addr (or Fleet) is usable.
 type Options struct {
-	// Addr is the server's listen address (required).
+	// Addr is the server's listen address (required unless Fleet is set).
 	Addr string
 	// ServerName is the server's peer name (default "srv"; must match the
 	// -name the server was started with).
 	ServerName string
+	// Fleet connects to a sharded deployment instead of a single server:
+	// one Endpoint per shard, in global page order (shard i's pages follow
+	// shard i-1's). When set, Addr/ServerName/Volume/DBPages are ignored
+	// and the geometry is the sum of the endpoints'.
+	Fleet []Endpoint
 	// Protocol selects the consistency protocol (default PS-AA; must match
 	// the server).
 	Protocol core.Protocol
@@ -38,6 +53,12 @@ type Options struct {
 	DBPages        uint32           // default 1200
 	ObjectsPerPage int              // default 20
 	PageSize       int              // default 4096
+
+	// CommitHold pauses every cross-shard commit between its prepare and
+	// decide phases (a fault-injection hold for crash drills: a client
+	// killed inside the hold leaves provably in-doubt prepared
+	// transactions at the shards). Zero — the default — means no hold.
+	CommitHold time.Duration
 
 	// ClientPoolPages sizes each client peer's cache (default DBPages/4).
 	ClientPoolPages int
@@ -99,14 +120,30 @@ type Client struct {
 	peers []*core.Peer
 }
 
-// Connect builds the client-side system and declares the remote server as
-// the owner of the configured volume. No socket is opened until the first
-// peer sends a message; add peers with AddPeer before running work.
+// Connect builds the client-side system and declares the remote server
+// (or each shard of Fleet) as the owner of its volume. No socket is
+// opened until the first peer sends a message; add peers with AddPeer
+// before running work.
 func Connect(opts Options) (*Client, error) {
-	if opts.Addr == "" {
-		return nil, fmt.Errorf("shoreclient: Addr is required")
+	if opts.Addr == "" && len(opts.Fleet) == 0 {
+		return nil, fmt.Errorf("shoreclient: Addr or Fleet is required")
+	}
+	for i, ep := range opts.Fleet {
+		if ep.Name == "" || ep.Addr == "" || ep.Volume == 0 || ep.Pages == 0 {
+			return nil, fmt.Errorf("shoreclient: Fleet[%d] needs Name, Addr, Volume, and Pages", i)
+		}
 	}
 	opts = opts.withDefaults()
+	remotes := map[string]string{opts.ServerName: opts.Addr}
+	if len(opts.Fleet) > 0 {
+		remotes = make(map[string]string, len(opts.Fleet))
+		for _, ep := range opts.Fleet {
+			if _, dup := remotes[ep.Name]; dup {
+				return nil, fmt.Errorf("shoreclient: duplicate fleet shard name %q", ep.Name)
+			}
+			remotes[ep.Name] = ep.Addr
+		}
+	}
 	cfg := core.Config{
 		Protocol:        opts.Protocol,
 		Costs:           sim.DefaultCosts(0), // real wire: no simulated latency on top
@@ -124,17 +161,31 @@ func Connect(opts Options) (*Client, error) {
 		BatchFlushDelay: opts.BatchFlushDelay,
 		Obs:             obs.Config{Enabled: opts.Obs},
 		Transport: transport.TCPFactory(transport.TCPOptions{
-			Remotes: map[string]string{opts.ServerName: opts.Addr},
+			Remotes: remotes,
 		}),
+	}
+	if opts.CommitHold > 0 {
+		hold := opts.CommitHold
+		cfg.TwoPCGate = func(string, lock.TxID) { time.Sleep(hold) }
 	}
 	sys, err := core.NewSystemFabric(cfg)
 	if err != nil {
 		return nil, fmt.Errorf("shoreclient: %w", err)
 	}
-	sys.Directory().AddExtent(opts.Volume, 1, 0, opts.DBPages)
-	if err := sys.AddRemoteOwner(opts.ServerName, opts.Volume); err != nil {
-		sys.Close()
-		return nil, fmt.Errorf("shoreclient: %w", err)
+	if len(opts.Fleet) > 0 {
+		for _, ep := range opts.Fleet {
+			sys.Directory().AddExtent(ep.Volume, 1, 0, ep.Pages)
+			if err := sys.AddRemoteOwner(ep.Name, ep.Volume); err != nil {
+				sys.Close()
+				return nil, fmt.Errorf("shoreclient: shard %s: %w", ep.Name, err)
+			}
+		}
+	} else {
+		sys.Directory().AddExtent(opts.Volume, 1, 0, opts.DBPages)
+		if err := sys.AddRemoteOwner(opts.ServerName, opts.Volume); err != nil {
+			sys.Close()
+			return nil, fmt.Errorf("shoreclient: %w", err)
+		}
 	}
 	return &Client{opts: opts, sys: sys}, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -115,6 +116,33 @@ func TestWaitTrackerAdaptiveTimeout(t *testing.T) {
 	}
 	if w.Count() != 100 {
 		t.Errorf("Count = %d", w.Count())
+	}
+}
+
+// TestWaitTrackerExactFormula pins the derivation on heterogeneous
+// samples: timeout = (mean + stddev) * inflate, computed independently
+// here from the same samples.
+func TestWaitTrackerExactFormula(t *testing.T) {
+	w := NewWaitTracker(1.5, 0, time.Hour)
+	samples := []time.Duration{
+		10 * time.Millisecond, 20 * time.Millisecond,
+		30 * time.Millisecond, 40 * time.Millisecond,
+	}
+	var sum, sumSq float64
+	for _, d := range samples {
+		w.Observe(d)
+		s := d.Seconds()
+		sum += s
+		sumSq += s * s
+	}
+	mean := sum / float64(len(samples))
+	variance := sumSq/float64(len(samples)) - mean*mean
+	want := time.Duration((mean + math.Sqrt(variance)) * 1.5 * float64(time.Second))
+	got := w.Timeout()
+	if diff := got - want; diff < -time.Microsecond || diff > time.Microsecond {
+		t.Errorf("timeout = %v, want %v (mean %v + stddev %v, ×1.5)",
+			got, want, time.Duration(mean*float64(time.Second)),
+			time.Duration(math.Sqrt(variance)*float64(time.Second)))
 	}
 }
 

@@ -77,6 +77,10 @@ const (
 	// exactly once at the owner (dedup suppresses retried duplicates).
 	CtrPurgeSent    = "purge_notices_sent"    // purge notices attached to outgoing messages
 	CtrPurgeApplied = "purge_notices_applied" // purge notices applied at the owner
+
+	// Cross-shard two-phase commit (internal/core, internal/wal).
+	Ctr2PCPrepares       = "2pc_prepares"        // participant prepare records forced (cross-shard commits)
+	Ctr2PCPresumedAborts = "2pc_presumed_aborts" // in-doubt transactions resolved by presumed abort
 )
 
 // CanonicalCounters lists every canonical counter name above. The metrics
@@ -101,6 +105,7 @@ var CanonicalCounters = []string{
 	CtrTCPConns, CtrTCPReconnects,
 	CtrAdvisorEscSuppressed, CtrAdvisorObjectGrainCB, CtrAdvisorPageGrainWrites,
 	CtrPurgeSent, CtrPurgeApplied,
+	Ctr2PCPrepares, Ctr2PCPresumedAborts,
 }
 
 // NewStats returns an empty counter set.

@@ -36,6 +36,7 @@ const (
 	frameAbort
 	frameCkptBegin
 	frameCkptEnd
+	framePrepare
 )
 
 // LogImage accumulates the serialized log. The zero value is not usable;
@@ -108,6 +109,12 @@ func (im *LogImage) AppendCommit(tx lock.TxID) {
 	im.frame(putTx([]byte{frameCommit}, tx))
 }
 
+// AppendPrepare logs a participant's prepare record for a distributed
+// transaction, naming the coordinator its fate rests with.
+func (im *LogImage) AppendPrepare(tx lock.TxID, coord string) {
+	im.frame(putString(putTx([]byte{framePrepare}, tx), coord))
+}
+
 // AppendAbort logs a transaction's abort record.
 func (im *LogImage) AppendAbort(tx lock.TxID) {
 	im.frame(putTx([]byte{frameAbort}, tx))
@@ -155,6 +162,11 @@ type ReplayResult struct {
 	// Losers are transactions with shipped updates but no decision record:
 	// presumed aborted, their updates were not applied.
 	Losers []lock.TxID
+	// InDoubt maps prepared-but-undecided transactions to their recorded
+	// coordinator. They are also Losers — presumed abort treats a missing
+	// decision as abort — but a recovering participant may use the
+	// coordinator name to ask for the real fate before settling.
+	InDoubt map[lock.TxID]string
 	// Truncated reports that the scan stopped at a torn tail (an incomplete
 	// or corrupt final frame) rather than the exact end of the image.
 	Truncated bool
@@ -307,6 +319,7 @@ func Replay(img []byte) (*ReplayResult, error) {
 
 	pending := make(map[lock.TxID][]Record)
 	seenLSN := make(map[uint64]bool)
+	inDoubt := make(map[lock.TxID]string)
 
 	for i := start; i < len(payloads); i++ {
 		p := payloads[i]
@@ -340,12 +353,21 @@ func Replay(img []byte) (*ReplayResult, error) {
 				res.State[rec.Object] = rec.After
 			}
 			delete(pending, txid)
+			delete(inDoubt, txid)
 		case frameAbort:
 			txid := r.tx()
 			if r.bad {
 				return nil, fmt.Errorf("wal: corrupt abort frame %d", i)
 			}
 			delete(pending, txid)
+			delete(inDoubt, txid)
+		case framePrepare:
+			txid := r.tx()
+			coord := r.str()
+			if r.bad {
+				return nil, fmt.Errorf("wal: corrupt prepare frame %d", i)
+			}
+			inDoubt[txid] = coord
 		case frameCkptBegin:
 			// Informational; completeness was decided in pass 1.
 		case frameCkptEnd:
@@ -373,6 +395,9 @@ func Replay(img []byte) (*ReplayResult, error) {
 
 	for txid := range pending {
 		res.Losers = append(res.Losers, txid)
+	}
+	if len(inDoubt) > 0 {
+		res.InDoubt = inDoubt
 	}
 	sort.Slice(res.Losers, func(i, j int) bool {
 		a, b := res.Losers[i], res.Losers[j]

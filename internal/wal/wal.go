@@ -9,6 +9,7 @@ package wal
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -94,6 +95,33 @@ func (c *Cache) Pending(tx lock.TxID) int {
 	return len(c.byTx[tx])
 }
 
+// Decision is the coordinator-recorded fate of a distributed transaction.
+type Decision int
+
+// The three fates a transaction can have at a coordinator. Unknown means
+// no decision record exists — which, under presumed abort, IS an abort the
+// moment anyone asks.
+const (
+	DecisionUnknown Decision = iota
+	DecisionCommit
+	DecisionAbort
+)
+
+// PreparedTx describes one in-doubt transaction at a participant: its
+// records are forced but its fate rests with the named coordinator. Since
+// timestamps the prepare so resolution can wait out the commonly-fast
+// decide message before presuming anything.
+type PreparedTx struct {
+	Tx    lock.TxID
+	Coord string
+	Since time.Time
+}
+
+// decidedRingSize bounds the decision tombstone set: a coordinator must
+// answer status queries about recently decided transactions, but cannot
+// remember every fate forever.
+const decidedRingSize = 8192
+
 // StableLog is the owner-side log: an append-only record sequence on its
 // own log disk, plus the per-transaction record lists retained for undo
 // until the transaction's fate is decided.
@@ -107,6 +135,14 @@ type StableLog struct {
 	img      *LogImage // serialized image of the log disk; nil unless enabled
 	nextCkpt uint64
 	gf       *groupForcer // nil unless EnableGroupCommit was called
+
+	// 2PC state. prepared tracks in-doubt participant transactions (forced
+	// records whose fate rests elsewhere); decided is the coordinator-side
+	// decision tombstone set, bounded by a ring.
+	prepared    map[lock.TxID]PreparedTx
+	decided     map[lock.TxID]Decision
+	decidedRing []lock.TxID
+	decidedIdx  int
 }
 
 // ForceInfo describes how one log force was satisfied: the number of
@@ -222,7 +258,14 @@ func (l *StableLog) Force() ForceInfo {
 
 // NewStableLog returns an empty stable log writing to disk.
 func NewStableLog(disk *storage.Disk) *StableLog {
-	return &StableLog{disk: disk, nextLSN: 1, active: make(map[lock.TxID][]Record)}
+	return &StableLog{
+		disk:        disk,
+		nextLSN:     1,
+		active:      make(map[lock.TxID][]Record),
+		prepared:    make(map[lock.TxID]PreparedTx),
+		decided:     make(map[lock.TxID]Decision),
+		decidedRing: make([]lock.TxID, decidedRingSize),
+	}
 }
 
 // Append assigns LSNs to records, retains them for possible undo, and
@@ -266,6 +309,7 @@ func (l *StableLog) Commit(tx lock.TxID) {
 func (l *StableLog) CommitForce(tx lock.TxID) ForceInfo {
 	l.mu.Lock()
 	delete(l.active, tx)
+	delete(l.prepared, tx)
 	if l.img != nil {
 		l.img.AppendCommit(tx)
 	}
@@ -280,6 +324,7 @@ func (l *StableLog) Abort(tx lock.TxID) []Record {
 	l.mu.Lock()
 	recs := l.active[tx]
 	delete(l.active, tx)
+	delete(l.prepared, tx)
 	if l.img != nil && len(recs) > 0 {
 		l.img.AppendAbort(tx)
 	}
@@ -289,6 +334,121 @@ func (l *StableLog) Abort(tx lock.TxID) []Record {
 		out = append(out, recs[i])
 	}
 	return out
+}
+
+// Prepare marks tx in-doubt at this participant: its records are already
+// appended and forced (AppendForce precedes Prepare in the commit path),
+// and this call forces the prepare record naming the coordinator — the
+// durable promise that the participant will honor whatever the coordinator
+// decided. The entry clears when a decision arrives (CommitForce or
+// Abort).
+func (l *StableLog) Prepare(tx lock.TxID, coord string) ForceInfo {
+	l.mu.Lock()
+	if _, ok := l.prepared[tx]; !ok {
+		l.prepared[tx] = PreparedTx{Tx: tx, Coord: coord, Since: time.Now()}
+		if l.img != nil {
+			l.img.AppendPrepare(tx, coord)
+		}
+	}
+	gf := l.gf
+	l.mu.Unlock()
+	return l.force(gf)
+}
+
+// PreparedTxs snapshots the in-doubt transactions, oldest first.
+func (l *StableLog) PreparedTxs() []PreparedTx {
+	l.mu.Lock()
+	out := make([]PreparedTx, 0, len(l.prepared))
+	for _, pt := range l.prepared {
+		out = append(out, pt)
+	}
+	l.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Since.Before(out[j].Since) })
+	return out
+}
+
+// PreparedCount reports how many transactions are in doubt here.
+func (l *StableLog) PreparedCount() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.prepared)
+}
+
+// IsPrepared reports whether tx is in doubt at this participant.
+func (l *StableLog) IsPrepared(tx lock.TxID) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.prepared[tx]
+	return ok
+}
+
+// Decide records the coordinator-side fate of a distributed transaction
+// and forces the decision record. Once recorded, a fate is immutable: a
+// commit request against a recorded abort (or vice versa) returns an error
+// so the caller can propagate the recorded fate instead of splitting the
+// transaction's outcome across shards.
+func (l *StableLog) Decide(tx lock.TxID, commit bool) error {
+	want := DecisionAbort
+	if commit {
+		want = DecisionCommit
+	}
+	l.mu.Lock()
+	if prev, ok := l.decided[tx]; ok {
+		l.mu.Unlock()
+		if prev != want {
+			return fmt.Errorf("wal: tx %v already decided %v, cannot decide %v", tx, prev, want)
+		}
+		return nil
+	}
+	l.recordDecisionLocked(tx, want)
+	gf := l.gf
+	l.mu.Unlock()
+	l.force(gf)
+	return nil
+}
+
+// DecisionOf reports tx's recorded fate (DecisionUnknown if none).
+func (l *StableLog) DecisionOf(tx lock.TxID) Decision {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.decided[tx]
+}
+
+// ResolveStatus answers a participant's status query under presumed abort:
+// a recorded fate is returned as-is, and an unknown fate is recorded as
+// abort — silence means abort, and writing the abort down makes a late
+// commit decision fail loudly instead of splitting the outcome.
+func (l *StableLog) ResolveStatus(tx lock.TxID) Decision {
+	l.mu.Lock()
+	d, ok := l.decided[tx]
+	if ok {
+		l.mu.Unlock()
+		return d
+	}
+	l.recordDecisionLocked(tx, DecisionAbort)
+	gf := l.gf
+	l.mu.Unlock()
+	l.force(gf)
+	return DecisionAbort
+}
+
+// recordDecisionLocked writes a decision into the tombstone ring and the
+// log image. Callers hold l.mu.
+func (l *StableLog) recordDecisionLocked(tx lock.TxID, d Decision) {
+	old := l.decidedRing[l.decidedIdx]
+	if !old.Zero() {
+		delete(l.decided, old)
+	}
+	l.decidedRing[l.decidedIdx] = tx
+	l.decidedIdx = (l.decidedIdx + 1) % decidedRingSize
+	l.decided[tx] = d
+	if l.img != nil {
+		if d == DecisionCommit {
+			l.img.AppendCommit(tx)
+		} else {
+			l.img.AppendAbort(tx)
+		}
+	}
 }
 
 // EnableImage turns on the serialized log image (see replay.go). Off by
